@@ -1,0 +1,201 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, one bench per artifact, plus the ablation
+// benches DESIGN.md calls out. Reported wall time is the cost of the
+// real (scaled) computation; the experiment outputs themselves are in
+// virtual seconds at paper scale and are logged once per benchmark via
+// b.Log (run with `go test -bench . -benchtime 1x -v` to see them).
+//
+// The Quick scale keeps each iteration in the seconds range; the
+// cmd/benchtab tool runs the same experiments, optionally at Full
+// scale.
+package rnascale_test
+
+import (
+	"testing"
+
+	"rnascale/internal/experiments"
+)
+
+// logOnce prints the experiment's table on the first iteration only.
+func logOnce(b *testing.B, i int, table string) {
+	b.Helper()
+	if i == 0 {
+		b.Log("\n" + table)
+	}
+}
+
+func BenchmarkTable1Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Table1())
+	}
+}
+
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkTable3BaselineTTC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, s, err := experiments.Table3(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows %d", len(rows))
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkTable4Capacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, s := experiments.Table4()
+		if len(cells) == 0 {
+			b.Fatal("empty matrix")
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkTable5Quality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, s, err := experiments.Table5(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("rows %d", len(rows))
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkFig1Workflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig1())
+	}
+}
+
+func BenchmarkFig2Patterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig2())
+	}
+}
+
+func BenchmarkFig3ScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, s, err := experiments.Fig3(experiments.Quick, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkFig4aRayScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, s, err := experiments.Fig4a(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkFig4bMultiK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, s, err := experiments.Fig4b(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows %d", len(rows))
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkFig5SampleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, s, err := experiments.Fig5(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatalf("rows %d", len(rows))
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkAblationSchemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.AblationSchemes(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkAblationDynamic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.AblationDynamicSizing(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkAblationHadoopTax(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.AblationHadoopTax(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkAblationJobShape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.AblationJobShape(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkAblationPlanner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.AblationPlanner(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, s)
+	}
+}
+
+func BenchmarkAblationNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.AblationNetwork(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, s)
+	}
+}

@@ -1,0 +1,89 @@
+// Command benchtab regenerates the paper's tables and figures from
+// the reproduction's components, printing each alongside the paper's
+// reported values for shape comparison.
+//
+// Usage:
+//
+//	benchtab -experiment all               # everything, quick scale
+//	benchtab -experiment table3 -scale full
+//	benchtab -experiment fig5
+//
+// Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3
+// fig4a fig4b fig5 ablations all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rnascale/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "all", "experiment to run (table1..table5, fig1..fig5, ablations, all)")
+		scale = flag.String("scale", "quick", "dataset scale: quick or full")
+	)
+	flag.Parse()
+
+	sc := experiments.Quick
+	if strings.ToLower(*scale) == "full" {
+		sc = experiments.Full
+	}
+
+	runners := map[string]func() (string, error){
+		"table1": func() (string, error) { return experiments.Table1(), nil },
+		"table2": experiments.Table2,
+		"table3": func() (string, error) { _, s, err := experiments.Table3(sc); return s, err },
+		"table4": func() (string, error) { _, s := experiments.Table4(); return s, nil },
+		"table5": func() (string, error) { _, s, err := experiments.Table5(sc); return s, err },
+		"fig1":   func() (string, error) { return experiments.Fig1(), nil },
+		"fig2":   func() (string, error) { return experiments.Fig2(), nil },
+		"fig3":   func() (string, error) { _, s, err := experiments.Fig3(sc, nil); return s, err },
+		"fig4a":  func() (string, error) { _, s, err := experiments.Fig4a(sc); return s, err },
+		"fig4b":  func() (string, error) { _, s, err := experiments.Fig4b(sc); return s, err },
+		"fig5":   func() (string, error) { _, s, err := experiments.Fig5(sc); return s, err },
+		"ablations": func() (string, error) {
+			var b strings.Builder
+			for _, fn := range []func(experiments.Scale) (string, error){
+				experiments.AblationSchemes,
+				experiments.AblationDynamicSizing,
+				experiments.AblationHadoopTax,
+				experiments.AblationJobShape,
+				experiments.AblationPlanner,
+				experiments.AblationNetwork,
+			} {
+				s, err := fn(sc)
+				if err != nil {
+					return "", err
+				}
+				b.WriteString(s)
+				b.WriteString("\n")
+			}
+			return b.String(), nil
+		},
+	}
+	order := []string{"table1", "table2", "table3", "table4", "table5",
+		"fig1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "ablations"}
+
+	names := []string{strings.ToLower(*exp)}
+	if names[0] == "all" {
+		names = order
+	}
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (have %v)\n", name, order)
+			os.Exit(1)
+		}
+		out, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println("================================================================")
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,34 @@
+// Command gateway serves the pipeline as a science-gateway-style JSON
+// HTTP API — the community delivery mechanism the paper plans
+// ("available to the research community via the science gateway
+// project").
+//
+// Usage:
+//
+//	gateway -addr :8080 -concurrency 2
+//
+//	curl -s localhost:8080/api/assemblers
+//	curl -s -X POST localhost:8080/api/runs \
+//	     -d '{"profile":"tiny","assemblers":["ray","abyss","contrail"],"contrailNodes":2,"evaluate":true}'
+//	curl -s localhost:8080/api/runs/run-00001
+//	curl -s localhost:8080/api/runs/run-00001/transcripts
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"rnascale/internal/gateway"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		concurrency = flag.Int("concurrency", 2, "max concurrent pipeline runs")
+	)
+	flag.Parse()
+	srv := gateway.NewServer(*concurrency)
+	log.Printf("rnascale gateway listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

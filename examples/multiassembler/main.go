@@ -1,0 +1,72 @@
+// Multi-assembler (MAMP) study: the pipeline's headline capability is
+// running several de novo assemblers concurrently and merging their
+// outputs — the Multi-Assembler Multi-Parameter method the paper
+// argues is "statistically attractive and easily feasible with our
+// scalable pipeline". This example compares every single-tool option
+// against the MAMP combinations on one dataset, reproducing the
+// Table V methodology at example scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rnascale"
+)
+
+func main() {
+	ds, err := rnascale.GenerateDataset(rnascale.ProfileTiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	options := [][]string{
+		{"ray"},
+		{"abyss"},
+		{"contrail"},
+		{"ray", "contrail"},
+		{"ray", "contrail", "abyss"},
+		{"trinity"}, // the paper's external comparator
+	}
+	fmt.Printf("%-26s %9s %9s %9s %11s %8s %8s\n",
+		"option", "precision", "recall", "F1", "w.kmer.rec", "kc", "TTC")
+	run := func(tools []string, consensus bool) {
+		cfg := rnascale.DefaultConfig()
+		cfg.Assemblers = tools
+		cfg.ContrailNodes = 2
+		cfg.ConsensusMerge = consensus
+		cfg.EvaluateAgainstTruth = true
+		rep, err := rnascale.Run(ds, cfg)
+		if err != nil {
+			log.Fatalf("%v: %v", tools, err)
+		}
+		m := rep.Metrics
+		name := label(tools)
+		if consensus {
+			name += " (consensus)"
+		}
+		fmt.Printf("%-26s %9.2f %9.2f %9.2f %11.2f %8.2f %8v\n",
+			name, m.Precision, m.Recall, m.F1, m.WeightedKmerRecall, m.KCScore, rep.TTC)
+	}
+	for _, tools := range options {
+		run(tools, false)
+	}
+	// The future-work ensemble direction: cross-assembler consensus
+	// validation before the MAMP merge.
+	run([]string{"ray", "contrail", "abyss"}, true)
+	fmt.Println("\npaper's finding: every pipeline option beats Trinity on nucleotide F1, and")
+	fmt.Println("MAMP tracks the average of its members. On clean synthetic data the spread")
+	fmt.Println("compresses (see EXPERIMENTS.md), but Ray's conservative-cutoff recall gap and")
+	fmt.Println("the weighted-recall rescue reproduce, and consensus validation never lowers")
+	fmt.Println("precision.")
+}
+
+func label(tools []string) string {
+	out := ""
+	for i, t := range tools {
+		if i > 0 {
+			out += "+"
+		}
+		out += t
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module rnascale
+
+go 1.22

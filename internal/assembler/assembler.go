@@ -1,0 +1,200 @@
+// Package assembler defines the common interface, cost-model inputs
+// and registry for the de novo transcript assemblers integrated into
+// the pipeline — the role of the paper's Table I. Concrete assemblers
+// live in subpackages:
+//
+//	ray      MPI, distributed DBG (k-mer partitioning + halo exchange)
+//	abyss    MPI, distributed DBG (higher serial fraction, faster core)
+//	contrail Hadoop MapReduce, iterative DBG path compression
+//	velvet   single-node DBG
+//	trinity  single-node greedy extension (evaluation baseline)
+//
+// Every assembler performs a real assembly of the (scaled) reads it is
+// given and reports a virtual time-to-completion and per-node memory
+// footprint derived from the full-scale dataset statistics, so that
+// benchmark shapes land at paper scale.
+package assembler
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rnascale/internal/seq"
+	"rnascale/internal/simdata"
+	"rnascale/internal/vclock"
+)
+
+// Info describes an assembler, mirroring Table I.
+type Info struct {
+	Name string
+	// GraphType is the assembly paradigm ("DBG", "Greedy").
+	GraphType string
+	// Distributed names the multi-node implementation ("MPI",
+	// "Hadoop MapReduce", or "" for single-node tools).
+	Distributed string
+	// Version mirrors the tool version the paper integrated.
+	Version string
+}
+
+// MultiNode reports whether the tool can span nodes.
+func (i Info) MultiNode() bool { return i.Distributed != "" }
+
+// Params are the per-run assembly parameters.
+type Params struct {
+	// K is the k-mer size (the multiple-k-mer strategy runs one
+	// assembly per k).
+	K int
+	// MinCoverage drops k-mers below this count (0 = tool default).
+	MinCoverage int
+	// MinContigLen drops contigs shorter than this (0 = tool default:
+	// 2k).
+	MinContigLen int
+}
+
+// WithDefaults fills tool-independent defaults: a tool-specific
+// minimum coverage and a minimum contig length of 2k.
+func (p Params) WithDefaults(defaultMinCov int) Params {
+	if p.MinCoverage <= 0 {
+		p.MinCoverage = defaultMinCov
+	}
+	if p.MinContigLen <= 0 {
+		p.MinContigLen = 2 * p.K
+	}
+	return p
+}
+
+// Request is one assembly invocation.
+type Request struct {
+	// Reads is the (scaled) input read set.
+	Reads []seq.Read
+	// Params are the assembly parameters.
+	Params Params
+	// Nodes and CoresPerNode describe the allocation.
+	Nodes, CoresPerNode int
+	// FullScale carries the paper-scale dataset statistics that drive
+	// the virtual cost models.
+	FullScale simdata.FullScaleStats
+}
+
+// Validate checks request invariants shared by all assemblers.
+func (r *Request) Validate(info Info) error {
+	if len(r.Reads) == 0 {
+		return fmt.Errorf("%s: no reads", info.Name)
+	}
+	if r.Params.K < 15 || r.Params.K > seq.MaxK {
+		return fmt.Errorf("%s: k=%d outside [15,%d]", info.Name, r.Params.K, seq.MaxK)
+	}
+	if r.Nodes <= 0 || r.CoresPerNode <= 0 {
+		return fmt.Errorf("%s: allocation %d nodes × %d cores", info.Name, r.Nodes, r.CoresPerNode)
+	}
+	if !info.MultiNode() && r.Nodes > 1 {
+		return fmt.Errorf("%s: single-node tool cannot use %d nodes", info.Name, r.Nodes)
+	}
+	return nil
+}
+
+// Result is a finished assembly.
+type Result struct {
+	// Contigs is the real assembly output, longest first.
+	Contigs []seq.FastaRecord
+	// TTC is the virtual time-to-completion at full scale.
+	TTC vclock.Duration
+	// PeakMemoryGBPerNode is the per-node resident high-water mark at
+	// full scale.
+	PeakMemoryGBPerNode float64
+	// Messages and BytesSent report distributed traffic (MPI tools).
+	Messages, BytesSent int64
+	// N50 is the contig-length N50.
+	N50 int
+}
+
+// Assembler is one integrated de novo assembler.
+type Assembler interface {
+	Info() Info
+	Assemble(req Request) (Result, error)
+}
+
+// TTCEstimator is optionally implemented by assemblers that can
+// predict their virtual time-to-completion for a request *without*
+// running — the a-priori estimates the paper names as the
+// prerequisite for a fully dynamically adaptive workflow ("a means
+// for a rough estimate on TTCs of sub tasks a priori").
+type TTCEstimator interface {
+	EstimateTTC(req Request) (vclock.Duration, error)
+}
+
+// FullScaleBases estimates the base count of the full-scale dataset
+// from its FASTQ volume (sequence is roughly 45% of a FASTQ file).
+func FullScaleBases(fs simdata.FullScaleStats) float64 {
+	return float64(fs.SeqDataBytes) * 0.45
+}
+
+// DistinctKmers estimates the full-scale distinct-canonical-k-mer
+// count: genuine genome k-mers (both strands, isoform redundancy)
+// plus error k-mers proportional to volume. This drives the Table IV
+// memory matrix.
+func DistinctKmers(fs simdata.FullScaleStats) float64 {
+	return float64(fs.GenomeSizeBp)*12 + FullScaleBases(fs)*0.025
+}
+
+// GraphMemoryGB estimates a DBG assembler's per-node footprint when
+// the k-mer table is hash-partitioned over the given node count:
+// 64 bytes per distinct k-mer (entry, pointers, load-factor slack)
+// plus a fixed runtime base.
+func GraphMemoryGB(fs simdata.FullScaleStats, nodes int) float64 {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return 2.0 + DistinctKmers(fs)*64/1e9/float64(nodes)
+}
+
+// registry is the global assembler registry, keyed by lower-case name.
+var (
+	regMu    sync.Mutex
+	registry = map[string]Assembler{}
+)
+
+// Register adds an assembler to the registry; registering a duplicate
+// name panics (it is a wiring bug).
+func Register(a Assembler) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := a.Info().Name
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("assembler: duplicate registration of %q", name))
+	}
+	registry[name] = a
+}
+
+// Get resolves an assembler by name.
+func Get(name string) (Assembler, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	a, ok := registry[name]
+	if !ok {
+		names := make([]string, 0, len(registry))
+		for n := range registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("assembler: unknown %q (have %v)", name, names)
+	}
+	return a, nil
+}
+
+// List returns every registered assembler sorted by name.
+func List() []Assembler {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Assembler, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}

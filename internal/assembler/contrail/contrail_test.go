@@ -1,0 +1,148 @@
+package contrail
+
+import (
+	"strings"
+	"testing"
+
+	"rnascale/internal/assembler"
+	"rnascale/internal/mapreduce"
+	"rnascale/internal/seq"
+	"rnascale/internal/simdata"
+)
+
+func TestRecordRoundtrip(t *testing.T) {
+	rec := record{seq: "ACGTACG", count: 42, l: "AC", r: "T"}
+	back, err := parseRecord(rec.marshal())
+	if err != nil || back != rec {
+		t.Fatalf("roundtrip: %+v %v", back, err)
+	}
+	for _, bad := range []string{"", "a|b", "seq|notanumber|A|C", "a|1|A|C|extra"} {
+		if _, err := parseRecord(bad); err == nil {
+			t.Errorf("parsed %q", bad)
+		}
+	}
+}
+
+func TestAddBase(t *testing.T) {
+	s := addBase("", 'T')
+	s = addBase(s, 'A')
+	s = addBase(s, 'T') // duplicate
+	if s != "AT" {
+		t.Errorf("addBase gave %q", s)
+	}
+}
+
+func TestCanonString(t *testing.T) {
+	if canonString("TTT") != "AAA" {
+		t.Error("TTT should canonicalize to AAA")
+	}
+	if canonString("AAA") != "AAA" {
+		t.Error("AAA is already canonical")
+	}
+	if canonString("ACG") != "ACG" { // RC is CGT > ACG
+		t.Error("ACG canonical")
+	}
+}
+
+// Compression must preserve the k-mer content of the graph: merging
+// chains never invents or loses sequence.
+func TestCompressionPreservesKmerContent(t *testing.T) {
+	const k = 15
+	genome := "ACGTTGCAATCGGCTAAGCTTACGGATCCTTAGGCAACTGGATCCATGCA"
+	var input []mapreduce.KV
+	for i := 0; i+29 <= len(genome); i += 2 {
+		input = append(input, mapreduce.KV{Key: "r", Value: genome[i : i+29]})
+	}
+	kmersOf := func(kvs []mapreduce.KV) map[string]bool {
+		out := map[string]bool{}
+		for _, kv := range kvs {
+			s := kv.Value
+			if i := strings.IndexByte(s, '|'); i >= 0 {
+				s = s[:i]
+			}
+			for j := 0; j+k <= len(s); j++ {
+				out[canonString(s[j:j+k])] = true
+			}
+		}
+		return out
+	}
+	// Assemble the reads and verify the contigs cover the same k-mers
+	// as the raw input — compression must neither invent nor lose
+	// sequence.
+	reads := make([]seq.Read, len(input))
+	for i, kv := range input {
+		reads[i] = seq.Read{ID: "r", Seq: []byte(kv.Value)}
+	}
+	fs := simdata.Tiny().FullScale
+	res, err := (&Contrail{}).Assemble(assembler.Request{
+		Reads: reads, Params: assembler.Params{K: k, MinCoverage: 1, MinContigLen: k},
+		Nodes: 2, CoresPerNode: 2, FullScale: fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var contigKVs []mapreduce.KV
+	for _, c := range res.Contigs {
+		contigKVs = append(contigKVs, mapreduce.KV{Key: c.ID, Value: string(c.Seq)})
+	}
+	want := kmersOf(input)
+	got := kmersOf(contigKVs)
+	missing := 0
+	for km := range want {
+		if !got[km] {
+			missing++
+		}
+	}
+	// Unitig breakpoints at branches may drop a few boundary k-mers,
+	// but the bulk must survive.
+	if float64(missing) > 0.1*float64(len(want)) {
+		t.Errorf("%d of %d k-mers missing after compression", missing, len(want))
+	}
+	for km := range got {
+		if !want[km] {
+			t.Errorf("invented k-mer %s", km)
+		}
+	}
+}
+
+func TestCompressionRoundMergesChains(t *testing.T) {
+	// A single linear chain: after enough coin-flip rounds the record
+	// count must drop substantially.
+	const k = 15
+	genome := "ACGTTGCAATCGGCTAAGCTTACGGATCCTTAGGCAACTG"
+	var reads []seq.Read
+	for i := 0; i+24 <= len(genome); i++ {
+		reads = append(reads, seq.Read{ID: "r", Seq: []byte(genome[i : i+24])})
+	}
+	res, err := (&Contrail{CompressionRounds: 10}).Assemble(assembler.Request{
+		Reads: reads, Params: assembler.Params{K: k, MinCoverage: 1, MinContigLen: 2 * k},
+		Nodes: 1, CoresPerNode: 4, FullScale: simdata.Tiny().FullScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contigs) != 1 {
+		t.Fatalf("linear chain gave %d contigs", len(res.Contigs))
+	}
+	got := string(res.Contigs[0].Seq)
+	rc := string(seq.ReverseComplement([]byte(got)))
+	if got != genome && rc != genome {
+		t.Errorf("contig %q does not reconstruct the chain", got)
+	}
+}
+
+func TestNCheckToggle(t *testing.T) {
+	reads := []seq.Read{{ID: "n", Seq: []byte("ACGTNACGTACGTACGTACGTACG")}}
+	fs := simdata.Tiny().FullScale
+	req := assembler.Request{Reads: reads, Params: assembler.Params{K: 15, MinCoverage: 1},
+		Nodes: 1, CoresPerNode: 1, FullScale: fs}
+	if _, err := (&Contrail{}).Assemble(req); err == nil {
+		t.Error("N reads accepted with check on")
+	}
+	// AllowN tolerates the read (windows with N are skipped; assembly
+	// may legitimately still fail for lack of contigs).
+	if _, err := (&Contrail{AllowN: true}).Assemble(req); err != nil &&
+		!strings.Contains(err.Error(), "no contigs") {
+		t.Errorf("AllowN: unexpected error %v", err)
+	}
+}

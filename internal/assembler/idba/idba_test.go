@@ -1,0 +1,141 @@
+package idba
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rnascale/internal/assembler"
+	"rnascale/internal/assembler/velvet"
+	"rnascale/internal/seq"
+	"rnascale/internal/simdata"
+)
+
+func shred(rng *rand.Rand, n, readLen, step int) (string, []seq.Read) {
+	bases := "ACGT"
+	g := make([]byte, n)
+	for i := range g {
+		g[i] = bases[rng.Intn(4)]
+	}
+	var reads []seq.Read
+	for i := 0; i+readLen <= len(g); i += step {
+		reads = append(reads, seq.Read{ID: "r", Seq: g[i : i+readLen]})
+	}
+	return string(g), reads
+}
+
+func TestAssembleLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	genome, reads := shred(rng, 500, 40, 1)
+	a := &IDBA{}
+	res, err := a.Assemble(assembler.Request{
+		Reads: reads, Params: assembler.Params{K: 31, MinCoverage: 1},
+		Nodes: 1, CoresPerNode: 8, FullScale: simdata.Tiny().FullScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contigs) != 1 {
+		t.Fatalf("%d contigs", len(res.Contigs))
+	}
+	got := string(res.Contigs[0].Seq)
+	if got != genome && string(seq.ReverseComplement([]byte(got))) != genome {
+		t.Error("reconstruction failed")
+	}
+}
+
+// IDBA's point: the internal sweep recovers low-coverage regions that
+// a single large k misses, without small-k tangling. With sparse
+// shredding (step 12 on 40 bp reads) a direct k=31 graph fragments
+// where consecutive reads overlap by fewer than 31 bases, while the
+// small-k rounds bridge those joints and carry them to k=31.
+func TestIterationBeatsSingleLargeK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	genome, reads := shred(rng, 600, 40, 12)
+	fs := simdata.Tiny().FullScale
+	direct, err := (&velvet.Velvet{}).Assemble(assembler.Request{
+		Reads: reads, Params: assembler.Params{K: 31, MinCoverage: 1, MinContigLen: 40},
+		Nodes: 1, CoresPerNode: 8, FullScale: fs,
+	})
+	if err != nil && !strings.Contains(err.Error(), "no contigs") {
+		t.Fatal(err)
+	}
+	iterative, err := (&IDBA{}).Assemble(assembler.Request{
+		Reads: reads, Params: assembler.Params{K: 31, MinCoverage: 1, MinContigLen: 40},
+		Nodes: 1, CoresPerNode: 8, FullScale: fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	longest := func(cs []seq.FastaRecord) int {
+		if len(cs) == 0 {
+			return 0
+		}
+		return len(cs[0].Seq)
+	}
+	if longest(iterative.Contigs) <= longest(direct.Contigs) {
+		t.Errorf("iterative longest %d not beyond direct k=31 longest %d",
+			longest(iterative.Contigs), longest(direct.Contigs))
+	}
+	if longest(iterative.Contigs) < len(genome)*3/4 {
+		t.Errorf("iterative assembly too fragmented: %d of %d bp", longest(iterative.Contigs), len(genome))
+	}
+}
+
+func TestCostScalesWithRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, reads := shred(rng, 300, 40, 2)
+	fs := simdata.BGlumae().FullScale
+	small := &IDBA{KMin: 31} // one round at k=31
+	big := &IDBA{KMin: 15, KStep: 4}
+	rs, err := small.Assemble(assembler.Request{Reads: reads, Params: assembler.Params{K: 31, MinCoverage: 1},
+		Nodes: 1, CoresPerNode: 8, FullScale: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := big.Assemble(assembler.Request{Reads: reads, Params: assembler.Params{K: 31, MinCoverage: 1},
+		Nodes: 1, CoresPerNode: 8, FullScale: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.TTC <= rs.TTC {
+		t.Errorf("5-round sweep %v not costlier than 1 round %v", rb.TTC, rs.TTC)
+	}
+}
+
+func TestInfoAndErrors(t *testing.T) {
+	a := &IDBA{}
+	if a.Info().Name != "idba" || a.Info().MultiNode() {
+		t.Errorf("info %+v", a.Info())
+	}
+	if !strings.Contains(errNoContigs(31, 2).Error(), "k=31") {
+		t.Error("error formatting")
+	}
+	if _, err := a.Assemble(assembler.Request{
+		Reads: []seq.Read{{ID: "r", Seq: []byte("ACGT")}}, Params: assembler.Params{K: 21},
+		Nodes: 1, CoresPerNode: 1, FullScale: simdata.Tiny().FullScale,
+	}); err == nil {
+		t.Error("degenerate input produced contigs")
+	}
+}
+
+func TestEstimateMatchesCostModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	_, reads := shred(rng, 400, 40, 1)
+	req := assembler.Request{
+		Reads: reads, Params: assembler.Params{K: 31, MinCoverage: 1},
+		Nodes: 1, CoresPerNode: 8, FullScale: simdata.BGlumae().FullScale,
+	}
+	a := &IDBA{}
+	predicted, err := a.EstimateTTC(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Assemble(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predicted != res.TTC {
+		t.Errorf("estimate %v != measured %v (round count must match)", predicted, res.TTC)
+	}
+}

@@ -1,0 +1,132 @@
+package minia
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnascale/internal/assembler"
+	"rnascale/internal/seq"
+	"rnascale/internal/simdata"
+)
+
+func shred(rng *rand.Rand, n, readLen, step, copies int) (string, []seq.Read) {
+	bases := "ACGT"
+	g := make([]byte, n)
+	for i := range g {
+		g[i] = bases[rng.Intn(4)]
+	}
+	var reads []seq.Read
+	for c := 0; c < copies; c++ {
+		for i := 0; i+readLen <= len(g); i += step {
+			reads = append(reads, seq.Read{ID: "r", Seq: g[i : i+readLen]})
+		}
+	}
+	return string(g), reads
+}
+
+func TestCountingBloom(t *testing.T) {
+	b := newCountingBloom(1<<14, 4)
+	coder := seq.MustKmerCoder(21)
+	rng := rand.New(rand.NewSource(1))
+	mk := func() seq.Kmer {
+		s := make([]byte, 21)
+		bases := "ACGT"
+		for i := range s {
+			s[i] = bases[rng.Intn(4)]
+		}
+		km, _ := coder.Encode(s)
+		return km
+	}
+	km := mk()
+	if b.Count(km) != 0 {
+		t.Error("fresh filter nonzero")
+	}
+	for i := 0; i < 3; i++ {
+		b.Add(km)
+	}
+	if c := b.Count(km); c < 3 {
+		t.Errorf("count %d, want ≥3 (never underestimates)", c)
+	}
+	// Saturation at 15.
+	for i := 0; i < 30; i++ {
+		b.Add(km)
+	}
+	if c := b.Count(km); c != 15 {
+		t.Errorf("saturated count %d", c)
+	}
+	// Absent k-mers mostly report 0 at this load.
+	zero := 0
+	for i := 0; i < 200; i++ {
+		if b.Count(mk()) == 0 {
+			zero++
+		}
+	}
+	if zero < 190 {
+		t.Errorf("false-positive rate too high: %d/200 zero", zero)
+	}
+}
+
+func TestAssembleLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	genome, reads := shred(rng, 500, 40, 1, 2)
+	m := &Minia{}
+	res, err := m.Assemble(assembler.Request{
+		Reads: reads, Params: assembler.Params{K: 21, MinCoverage: 2},
+		Nodes: 1, CoresPerNode: 8, FullScale: simdata.Tiny().FullScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contigs) != 1 {
+		t.Fatalf("%d contigs", len(res.Contigs))
+	}
+	got := string(res.Contigs[0].Seq)
+	if got != genome && string(seq.ReverseComplement([]byte(got))) != genome {
+		t.Error("reconstruction failed")
+	}
+}
+
+// Minia's selling point: a much smaller footprint than the hash-table
+// assemblers on the same dataset.
+func TestMemoryLeanerThanVelvetModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, reads := shred(rng, 300, 40, 2, 2)
+	fs := simdata.PCrispa().FullScale
+	m := &Minia{}
+	res, err := m.Assemble(assembler.Request{
+		Reads: reads, Params: assembler.Params{K: 21, MinCoverage: 1},
+		Nodes: 1, CoresPerNode: 8, FullScale: fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	velvetLike := assembler.GraphMemoryGB(fs, 1)
+	if res.PeakMemoryGBPerNode > velvetLike/4 {
+		t.Errorf("minia %.1f GB not ≪ hash-table model %.1f GB", res.PeakMemoryGBPerNode, velvetLike)
+	}
+}
+
+func TestOnSyntheticDataset(t *testing.T) {
+	ds, err := simdata.Generate(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Minia{}
+	res, err := m.Assemble(assembler.Request{
+		Reads: ds.Reads.Reads, Params: assembler.Params{K: 21},
+		Nodes: 1, CoresPerNode: 8, FullScale: ds.Profile.FullScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contigs) == 0 {
+		t.Fatal("no contigs")
+	}
+}
+
+func TestInfo(t *testing.T) {
+	m := &Minia{}
+	if m.Info().Name != "minia" || m.Info().MultiNode() {
+		t.Errorf("info %+v", m.Info())
+	}
+}

@@ -1,0 +1,191 @@
+package mpidbg
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnascale/internal/assembler"
+	"rnascale/internal/seq"
+	"rnascale/internal/simdata"
+	"rnascale/internal/vclock"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Prefix:             "test",
+		BasesPerCoreSecond: 1e6,
+		SerialFraction:     0.5,
+		WireBytesPerBase:   8,
+		MinCoverageDefault: 1,
+	}
+}
+
+func testInfo() assembler.Info {
+	return assembler.Info{Name: "test-mpi", GraphType: "DBG", Distributed: "MPI", Version: "0"}
+}
+
+func shred(rng *rand.Rand, n, readLen, step int) (string, []seq.Read) {
+	bases := "ACGT"
+	g := make([]byte, n)
+	for i := range g {
+		g[i] = bases[rng.Intn(4)]
+	}
+	var reads []seq.Read
+	for i := 0; i+readLen <= len(g); i += step {
+		reads = append(reads, seq.Read{ID: "r", Seq: g[i : i+readLen]})
+	}
+	return string(g), reads
+}
+
+func TestDistributedEqualsSingleRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_, reads := shred(rng, 600, 40, 1)
+	fs := simdata.Tiny().FullScale
+	run := func(nodes, cores int) []seq.FastaRecord {
+		res, err := Run(assembler.Request{
+			Reads: reads, Params: assembler.Params{K: 21, MinCoverage: 1},
+			Nodes: nodes, CoresPerNode: cores, FullScale: fs,
+		}, testInfo(), testProfile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Contigs
+	}
+	single := run(1, 1)
+	multi := run(4, 4)
+	if len(single) != len(multi) {
+		t.Fatalf("contig count differs: %d vs %d", len(single), len(multi))
+	}
+	for i := range single {
+		if string(single[i].Seq) != string(multi[i].Seq) {
+			t.Fatal("distributed assembly diverges from single-rank result")
+		}
+	}
+}
+
+func TestSerialFractionFlattensScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	_, reads := shred(rng, 400, 40, 2)
+	fs := simdata.PCrispa().FullScale
+	speedup := func(serial float64) float64 {
+		prof := testProfile()
+		prof.SerialFraction = serial
+		ttc := func(nodes int) vclock.Duration {
+			res, err := Run(assembler.Request{
+				Reads: reads, Params: assembler.Params{K: 21, MinCoverage: 1},
+				Nodes: nodes, CoresPerNode: 8, FullScale: fs,
+			}, testInfo(), prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.TTC
+		}
+		return float64(ttc(2)) / float64(ttc(16))
+	}
+	flat := speedup(0.9)
+	steep := speedup(0.1)
+	if flat >= steep {
+		t.Errorf("serial 0.9 speedup %.2f not below serial 0.1 speedup %.2f", flat, steep)
+	}
+	if flat > 1.5 {
+		t.Errorf("serial-dominated profile scaled %.2f×; should be near flat", flat)
+	}
+}
+
+func TestLargerKCheaperCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, reads := shred(rng, 500, 45, 1)
+	fs := simdata.PCrispa().FullScale // ReadLen 100 drives the window fraction
+	prof := testProfile()
+	prof.SerialFraction = 0 // expose the parallel term
+	ttcAt := func(k int) float64 {
+		res, err := Run(assembler.Request{
+			Reads: reads, Params: assembler.Params{K: k, MinCoverage: 1},
+			Nodes: 1, CoresPerNode: 8, FullScale: fs,
+		}, testInfo(), prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TTC.Seconds()
+	}
+	if !(ttcAt(41) < ttcAt(21)) {
+		t.Error("larger k (fewer windows) not cheaper")
+	}
+}
+
+func TestMemoryShrinksWithNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	_, reads := shred(rng, 300, 40, 2)
+	fs := simdata.PCrispa().FullScale
+	mem := func(nodes int) float64 {
+		res, err := Run(assembler.Request{
+			Reads: reads, Params: assembler.Params{K: 21, MinCoverage: 1},
+			Nodes: nodes, CoresPerNode: 4, FullScale: fs,
+		}, testInfo(), testProfile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PeakMemoryGBPerNode
+	}
+	if !(mem(8) < mem(2)) {
+		t.Error("per-node memory not decreasing with nodes")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	_, reads := shred(rng, 300, 40, 2)
+	res, err := Run(assembler.Request{
+		Reads: reads, Params: assembler.Params{K: 21, MinCoverage: 1},
+		Nodes: 2, CoresPerNode: 2, FullScale: simdata.Tiny().FullScale,
+	}, testInfo(), testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages == 0 || res.BytesSent == 0 {
+		t.Errorf("no traffic recorded: %+v", res)
+	}
+}
+
+func TestNoContigsError(t *testing.T) {
+	// Reads too short for k → empty graph → explicit error.
+	reads := []seq.Read{{ID: "r", Seq: []byte("ACGTACGTACGTACGTACGT")}}
+	_, err := Run(assembler.Request{
+		Reads: reads, Params: assembler.Params{K: 31, MinCoverage: 1},
+		Nodes: 1, CoresPerNode: 1, FullScale: simdata.Tiny().FullScale,
+	}, testInfo(), testProfile())
+	if err == nil {
+		t.Fatal("empty assembly did not error")
+	}
+}
+
+func TestValidationPropagates(t *testing.T) {
+	_, err := Run(assembler.Request{
+		Params: assembler.Params{K: 21}, Nodes: 1, CoresPerNode: 1,
+	}, testInfo(), testProfile())
+	if err == nil {
+		t.Fatal("empty reads accepted")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := Estimate(assembler.Request{Params: assembler.Params{K: 5}, Nodes: 1, CoresPerNode: 1}, testProfile()); err == nil {
+		t.Error("bad k accepted")
+	}
+	if _, err := Estimate(assembler.Request{Params: assembler.Params{K: 21}}, testProfile()); err == nil {
+		t.Error("no allocation accepted")
+	}
+	// Intra-node path (single node) vs inter-node path.
+	fs := simdata.PCrispa().FullScale
+	single, err := Estimate(assembler.Request{Params: assembler.Params{K: 21}, Nodes: 1, CoresPerNode: 8, FullScale: fs}, testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Estimate(assembler.Request{Params: assembler.Params{K: 21}, Nodes: 8, CoresPerNode: 8, FullScale: fs}, testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single <= 0 || multi <= 0 {
+		t.Error("non-positive estimates")
+	}
+}

@@ -1,0 +1,66 @@
+// Package swap implements the MPI assembler the paper evaluated and
+// then *excluded*: "initially, the two other assemblers, MPI-based
+// SWAP and Hadoop-based CloudBrush were also tested, but not included
+// in this work since we found that SWAP was incapable of assemblies
+// with k-mer more than 31".
+//
+// SWAP-Assembler's 31-mer ceiling comes from packing k-mers into a
+// single 64-bit word. This implementation reproduces both the tool
+// (it assembles fine for k ≤ 31, scaling well — its paper's headline)
+// and the limitation (any k > 31 fails exactly as the authors found),
+// so the pipeline's multi-k plans for the paper's datasets
+// (k = 35…63) genuinely cannot run on it.
+package swap
+
+import (
+	"fmt"
+
+	"rnascale/internal/assembler"
+	"rnascale/internal/assembler/mpidbg"
+	"rnascale/internal/vclock"
+)
+
+// MaxK is SWAP's single-word k-mer ceiling.
+const MaxK = 31
+
+// SWAP is the assembler. The zero value is ready to use.
+type SWAP struct{}
+
+// Info implements assembler.Assembler.
+func (s *SWAP) Info() assembler.Info {
+	return assembler.Info{Name: "swap", GraphType: "DBG", Distributed: "MPI", Version: "0.4"}
+}
+
+// Assemble implements assembler.Assembler.
+func (s *SWAP) Assemble(req assembler.Request) (assembler.Result, error) {
+	if req.Params.K > MaxK {
+		return assembler.Result{}, fmt.Errorf(
+			"swap: k=%d unsupported — SWAP packs k-mers into one 64-bit word and is incapable of k > %d "+
+				"(the reason the paper excluded it)", req.Params.K, MaxK)
+	}
+	return mpidbg.Run(req, s.Info(), profile())
+}
+
+// profile is SWAP's calibration: within its k range SWAP is a
+// well-scaling MPI assembler (its own paper demonstrates scalability
+// to thousands of cores), hence the near-zero serial fraction, unlike
+// Ray/ABySS.
+func profile() mpidbg.Profile {
+	return mpidbg.Profile{
+		Prefix:             "swap",
+		BasesPerCoreSecond: 1.1e6,
+		SerialFraction:     0.01,
+		WireBytesPerBase:   14,
+		MinCoverageDefault: 2,
+		MemoryFactor:       1.1,
+	}
+}
+
+// EstimateTTC implements assembler.TTCEstimator within SWAP's k
+// range.
+func (s *SWAP) EstimateTTC(req assembler.Request) (vclock.Duration, error) {
+	if req.Params.K > MaxK {
+		return 0, fmt.Errorf("swap: k=%d unsupported (k ≤ %d)", req.Params.K, MaxK)
+	}
+	return mpidbg.Estimate(req, profile())
+}

@@ -1,0 +1,72 @@
+package swap
+
+import (
+	"strings"
+	"testing"
+
+	"rnascale/internal/assembler"
+	"rnascale/internal/simdata"
+	"rnascale/internal/vclock"
+)
+
+func TestKCeilingMatchesPaperExclusion(t *testing.T) {
+	ds, err := simdata.Generate(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &SWAP{}
+	// Every k of the paper's B. Glumae plan (35–47) must fail.
+	for _, k := range simdata.BGlumae().FullScale.AssemblyKmers {
+		_, err := s.Assemble(assembler.Request{
+			Reads: ds.Reads.Reads, Params: assembler.Params{K: k},
+			Nodes: 2, CoresPerNode: 8, FullScale: ds.Profile.FullScale,
+		})
+		if err == nil || !strings.Contains(err.Error(), "incapable of k > 31") {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+	// k ≤ 31 works.
+	res, err := s.Assemble(assembler.Request{
+		Reads: ds.Reads.Reads, Params: assembler.Params{K: 25, MinCoverage: 2},
+		Nodes: 2, CoresPerNode: 8, FullScale: ds.Profile.FullScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contigs) == 0 {
+		t.Fatal("no contigs at k=25")
+	}
+}
+
+// Within its range, SWAP scales notably better than Ray — consistent
+// with its own paper's claims and with this paper's remark that prior
+// studies showed "the notable scalability of MPI-based assemblers".
+func TestScalesBetterThanRayWithinRange(t *testing.T) {
+	ds, err := simdata.Generate(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := simdata.PCrispa().FullScale
+	s := &SWAP{}
+	ttc := func(nodes int) vclock.Duration {
+		res, err := s.Assemble(assembler.Request{
+			Reads: ds.Reads.Reads, Params: assembler.Params{K: 25, MinCoverage: 2},
+			Nodes: nodes, CoresPerNode: 8, FullScale: fs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TTC
+	}
+	speedup := float64(ttc(2)) / float64(ttc(16))
+	if speedup < 2.5 {
+		t.Errorf("SWAP 2→16 node speedup %.2f; should scale well within its k range", speedup)
+	}
+}
+
+func TestInfo(t *testing.T) {
+	s := &SWAP{}
+	if s.Info().Name != "swap" || !s.Info().MultiNode() {
+		t.Errorf("info %+v", s.Info())
+	}
+}

@@ -1,0 +1,367 @@
+// Package cloud simulates an on-demand Infrastructure-as-a-Service
+// provider in the style of Amazon EC2, the platform used by the paper.
+//
+// The simulation covers the aspects of IaaS the pipeline's behaviour
+// depends on: an instance-type catalogue (cores, memory, price), the
+// VM lifecycle (pending → running → terminated) with boot latency,
+// ingress data transfer from the submitting "local server", and a
+// billing ledger. Time is virtual (see internal/vclock); one Provider
+// shares a clock with the rest of a simulation.
+//
+// Billing is fractional by instance-seconds, which is the model that
+// reproduces the paper's sample-run arithmetic (48.3 instance-hours of
+// c3.2xlarge × $0.42 ≈ $20.28); an optional per-hour-rounding mode is
+// provided for studying the coarser 2016-era EC2 billing.
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rnascale/internal/vclock"
+)
+
+// InstanceType describes a purchasable VM flavour.
+type InstanceType struct {
+	Name         string
+	Cores        int
+	MemoryGB     float64
+	PricePerHour float64 // USD
+}
+
+// The instance types used throughout the paper's experiments, plus a
+// few smaller flavours for ablation studies. Prices and shapes follow
+// the paper (Section III.B): both benchmark types have 8 cores;
+// r3.2xlarge has 61 GB at $0.70/h, c3.2xlarge has 16 GB at $0.42/h.
+var (
+	C3XLarge  = InstanceType{Name: "c3.xlarge", Cores: 4, MemoryGB: 7.5, PricePerHour: 0.21}
+	C32XLarge = InstanceType{Name: "c3.2xlarge", Cores: 8, MemoryGB: 16, PricePerHour: 0.42}
+	R3XLarge  = InstanceType{Name: "r3.xlarge", Cores: 4, MemoryGB: 30.5, PricePerHour: 0.35}
+	R32XLarge = InstanceType{Name: "r3.2xlarge", Cores: 8, MemoryGB: 61, PricePerHour: 0.70}
+	M3Medium  = InstanceType{Name: "m3.medium", Cores: 1, MemoryGB: 3.75, PricePerHour: 0.067}
+)
+
+// DefaultCatalog lists every built-in instance type.
+func DefaultCatalog() []InstanceType {
+	return []InstanceType{M3Medium, C3XLarge, C32XLarge, R3XLarge, R32XLarge}
+}
+
+// VMState is the lifecycle state of a virtual machine.
+type VMState int
+
+const (
+	// VMPending means the boot request was accepted but the VM is not
+	// yet usable.
+	VMPending VMState = iota
+	// VMRunning means the VM is booted and billable work can run.
+	VMRunning
+	// VMTerminated means the VM was shut down; billing has stopped.
+	VMTerminated
+)
+
+// String implements fmt.Stringer.
+func (s VMState) String() string {
+	switch s {
+	case VMPending:
+		return "pending"
+	case VMRunning:
+		return "running"
+	case VMTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("VMState(%d)", int(s))
+	}
+}
+
+// VM is one simulated virtual machine.
+type VM struct {
+	ID           string
+	Type         InstanceType
+	LaunchedAt   vclock.Time // when the boot request was made
+	RunningAt    vclock.Time // LaunchedAt + boot latency
+	TerminatedAt vclock.Time // meaningful only once terminated
+	state        VMState
+}
+
+// State reports the lifecycle state of the VM as of time t.
+func (vm *VM) State(t vclock.Time) VMState {
+	if vm.state == VMTerminated && t >= vm.TerminatedAt {
+		return VMTerminated
+	}
+	if t >= vm.RunningAt {
+		return VMRunning
+	}
+	return VMPending
+}
+
+// BilledHours reports the fractional instance-hours billed for this VM
+// as of time now.
+func (vm *VM) BilledHours(now vclock.Time) float64 {
+	end := now
+	if vm.state == VMTerminated && vm.TerminatedAt < now {
+		end = vm.TerminatedAt
+	}
+	if end < vm.LaunchedAt {
+		return 0
+	}
+	return end.Sub(vm.LaunchedAt).Hours()
+}
+
+// Options configure a Provider.
+type Options struct {
+	// BootLatency is the pending→running delay for each VM.
+	BootLatency vclock.Duration
+	// Ingress models the link from the submitting local server into
+	// the cloud (used for dataset upload).
+	Ingress vclock.CommCost
+	// InterNode models the link between two VMs in the same cluster
+	// placement group.
+	InterNode vclock.CommCost
+	// HourlyRounding switches billing from fractional instance-seconds
+	// to the coarse round-up-to-the-hour model.
+	HourlyRounding bool
+	// MaxInstances caps concurrently running+pending VMs; zero means
+	// no cap. Exceeding the cap makes RunInstances fail, modelling an
+	// EC2 account limit.
+	MaxInstances int
+	// FailBoot, when non-nil, is consulted with each boot's ordinal
+	// (1-based across the provider's lifetime); returning true makes
+	// that RunInstances call fail with a capacity error. Used for
+	// fault-injection tests ("InsufficientInstanceCapacity" in EC2
+	// terms).
+	FailBoot func(bootOrdinal int) bool
+}
+
+// DefaultOptions reflect the environment calibrated from the paper's
+// sample run: a 4.4 GB upload took 3 min 35 s (≈ 20.5 MB/s ingress),
+// and EC2 instances of the era took about a minute to boot.
+func DefaultOptions() Options {
+	return Options{
+		BootLatency: 60 * vclock.Second,
+		Ingress:     vclock.CommCost{Latency: 2, Bandwidth: 20.5e6},
+		InterNode:   vclock.CommCost{Latency: 0.0005, Bandwidth: 120e6},
+	}
+}
+
+// Provider is the simulated IaaS endpoint. It is not safe for
+// concurrent use; simulations drive it sequentially.
+type Provider struct {
+	clock   *vclock.Clock
+	opts    Options
+	catalog map[string]InstanceType
+	vms     map[string]*VM
+	order   []string // VM IDs in launch order, for deterministic reports
+	nextID  int
+	boots   int // RunInstances calls, for fault injection
+}
+
+// NewProvider returns a provider over the given clock with the default
+// catalogue.
+func NewProvider(clock *vclock.Clock, opts Options) *Provider {
+	p := &Provider{
+		clock:   clock,
+		opts:    opts,
+		catalog: make(map[string]InstanceType),
+		vms:     make(map[string]*VM),
+	}
+	for _, it := range DefaultCatalog() {
+		p.catalog[it.Name] = it
+	}
+	return p
+}
+
+// Clock exposes the provider's virtual clock.
+func (p *Provider) Clock() *vclock.Clock { return p.clock }
+
+// Options exposes the provider configuration.
+func (p *Provider) Options() Options { return p.opts }
+
+// RegisterType adds or replaces a catalogue entry.
+func (p *Provider) RegisterType(it InstanceType) error {
+	if it.Name == "" || it.Cores <= 0 || it.MemoryGB <= 0 || it.PricePerHour < 0 {
+		return fmt.Errorf("cloud: invalid instance type %+v", it)
+	}
+	p.catalog[it.Name] = it
+	return nil
+}
+
+// LookupType resolves an instance-type name.
+func (p *Provider) LookupType(name string) (InstanceType, error) {
+	it, ok := p.catalog[name]
+	if !ok {
+		return InstanceType{}, fmt.Errorf("cloud: unknown instance type %q", name)
+	}
+	return it, nil
+}
+
+// active counts VMs that are not terminated.
+func (p *Provider) active() int {
+	n := 0
+	for _, vm := range p.vms {
+		if vm.state != VMTerminated {
+			n++
+		}
+	}
+	return n
+}
+
+// RunInstances requests count VMs of the named type. The VMs are
+// created in pending state and become running BootLatency later; the
+// call itself does not advance the clock (the API returns
+// immediately, as EC2's does).
+func (p *Provider) RunInstances(typeName string, count int) ([]*VM, error) {
+	it, err := p.LookupType(typeName)
+	if err != nil {
+		return nil, err
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("cloud: RunInstances count %d", count)
+	}
+	if p.opts.MaxInstances > 0 && p.active()+count > p.opts.MaxInstances {
+		return nil, fmt.Errorf("cloud: instance limit exceeded: %d active + %d requested > %d",
+			p.active(), count, p.opts.MaxInstances)
+	}
+	p.boots++
+	if p.opts.FailBoot != nil && p.opts.FailBoot(p.boots) {
+		return nil, fmt.Errorf("cloud: insufficient instance capacity for %s (boot #%d)", typeName, p.boots)
+	}
+	now := p.clock.Now()
+	vms := make([]*VM, count)
+	for i := range vms {
+		p.nextID++
+		vm := &VM{
+			ID:         fmt.Sprintf("i-%06d", p.nextID),
+			Type:       it,
+			LaunchedAt: now,
+			RunningAt:  now.Add(p.opts.BootLatency),
+			state:      VMRunning, // state field tracks terminal transitions; State(t) handles pending
+		}
+		p.vms[vm.ID] = vm
+		p.order = append(p.order, vm.ID)
+		vms[i] = vm
+	}
+	return vms, nil
+}
+
+// WaitRunning advances the clock until every given VM is running and
+// returns the new time.
+func (p *Provider) WaitRunning(vms []*VM) vclock.Time {
+	for _, vm := range vms {
+		p.clock.AdvanceTo(vm.RunningAt)
+	}
+	return p.clock.Now()
+}
+
+// Describe returns the VM with the given ID.
+func (p *Provider) Describe(id string) (*VM, error) {
+	vm, ok := p.vms[id]
+	if !ok {
+		return nil, fmt.Errorf("cloud: no such instance %q", id)
+	}
+	return vm, nil
+}
+
+// Terminate shuts down the given VMs at the current time. Terminating
+// a terminated VM is a no-op, as with EC2.
+func (p *Provider) Terminate(vms ...*VM) {
+	now := p.clock.Now()
+	for _, vm := range vms {
+		if vm.state == VMTerminated {
+			continue
+		}
+		vm.state = VMTerminated
+		vm.TerminatedAt = vclock.Max(now, vm.RunningAt)
+	}
+}
+
+// TerminateAll shuts down every non-terminated VM.
+func (p *Provider) TerminateAll() {
+	for _, id := range p.order {
+		p.Terminate(p.vms[id])
+	}
+}
+
+// Running lists currently running VMs in launch order.
+func (p *Provider) Running() []*VM {
+	now := p.clock.Now()
+	var out []*VM
+	for _, id := range p.order {
+		if vm := p.vms[id]; vm.State(now) == VMRunning {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// UploadFromLocal models moving n bytes from the submitting local
+// server into the cloud and advances the clock by the transfer time.
+// It returns the transfer duration.
+func (p *Provider) UploadFromLocal(n int64) vclock.Duration {
+	d := p.opts.Ingress.Transfer(n)
+	p.clock.Advance(d)
+	return d
+}
+
+// InterNodeTransfer reports (without advancing the clock) the time to
+// move n bytes between two VMs.
+func (p *Provider) InterNodeTransfer(n int64) vclock.Duration {
+	return p.opts.InterNode.Transfer(n)
+}
+
+// BillLine is one row of the billing report.
+type BillLine struct {
+	Type          string
+	Instances     int
+	InstanceHours float64
+	USD           float64
+}
+
+// Bill computes the cost ledger as of the current time.
+func (p *Provider) Bill() []BillLine {
+	now := p.clock.Now()
+	agg := map[string]*BillLine{}
+	for _, id := range p.order {
+		vm := p.vms[id]
+		hours := vm.BilledHours(now)
+		if p.opts.HourlyRounding {
+			hours = math.Ceil(hours)
+		}
+		line, ok := agg[vm.Type.Name]
+		if !ok {
+			line = &BillLine{Type: vm.Type.Name}
+			agg[vm.Type.Name] = line
+		}
+		line.Instances++
+		line.InstanceHours += hours
+		line.USD += hours * vm.Type.PricePerHour
+	}
+	names := make([]string, 0, len(agg))
+	for n := range agg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]BillLine, 0, len(names))
+	for _, n := range names {
+		out = append(out, *agg[n])
+	}
+	return out
+}
+
+// TotalCost sums the billing ledger in USD.
+func (p *Provider) TotalCost() float64 {
+	var usd float64
+	for _, line := range p.Bill() {
+		usd += line.USD
+	}
+	return usd
+}
+
+// TotalInstanceHours sums billed instance-hours across all types.
+func (p *Provider) TotalInstanceHours() float64 {
+	var h float64
+	for _, line := range p.Bill() {
+		h += line.InstanceHours
+	}
+	return h
+}

@@ -1,0 +1,50 @@
+package cloud
+
+import "rnascale/internal/vclock"
+
+// The paper's future-work list includes "the pipeline will be fully
+// tested for OpenStack". OpenStack is the same IaaS abstraction with
+// a different flavour catalogue and (typically) slower control-plane
+// operations on private deployments; this file provides that second
+// provider personality so the pipeline can be exercised against it.
+
+// OpenStack-style flavours, shaped after the classic m1/r1 series of
+// 2016-era private clouds. Prices model internal chargeback rates.
+var (
+	OSM1Large  = InstanceType{Name: "m1.large", Cores: 4, MemoryGB: 8, PricePerHour: 0.16}
+	OSM1XLarge = InstanceType{Name: "m1.xlarge", Cores: 8, MemoryGB: 16, PricePerHour: 0.32}
+	OSR1Large  = InstanceType{Name: "r1.large", Cores: 4, MemoryGB: 30, PricePerHour: 0.28}
+	OSR1XLarge = InstanceType{Name: "r1.xlarge", Cores: 8, MemoryGB: 64, PricePerHour: 0.56}
+	OSC1XLarge = InstanceType{Name: "c1.xlarge", Cores: 16, MemoryGB: 32, PricePerHour: 0.52}
+)
+
+// OpenStackCatalog lists the OpenStack flavours.
+func OpenStackCatalog() []InstanceType {
+	return []InstanceType{OSM1Large, OSM1XLarge, OSR1Large, OSR1XLarge, OSC1XLarge}
+}
+
+// OpenStackOptions model a private OpenStack deployment: slower boots
+// (no pre-warmed hypervisors), a campus uplink for ingress, and a
+// modest instance quota.
+func OpenStackOptions() Options {
+	return Options{
+		BootLatency:  150 * vclock.Second,
+		Ingress:      vclock.CommCost{Latency: 0.5, Bandwidth: 80e6},
+		InterNode:    vclock.CommCost{Latency: 0.0004, Bandwidth: 200e6},
+		MaxInstances: 64,
+	}
+}
+
+// NewProviderWithCatalog builds a provider over an explicit
+// catalogue, replacing the EC2 defaults — how the OpenStack
+// personality is instantiated:
+//
+//	p := cloud.NewProviderWithCatalog(clock, cloud.OpenStackOptions(), cloud.OpenStackCatalog())
+func NewProviderWithCatalog(clock *vclock.Clock, opts Options, catalog []InstanceType) *Provider {
+	p := NewProvider(clock, opts)
+	p.catalog = make(map[string]InstanceType, len(catalog))
+	for _, it := range catalog {
+		p.catalog[it.Name] = it
+	}
+	return p
+}

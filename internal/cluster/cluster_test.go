@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"rnascale/internal/cloud"
+	"rnascale/internal/sge"
+	"rnascale/internal/vclock"
+)
+
+func newProvider() *cloud.Provider {
+	return cloud.NewProvider(vclock.NewClock(0), cloud.DefaultOptions())
+}
+
+func TestBuildAdvancesClockAndRegistersNodes(t *testing.T) {
+	p := newProvider()
+	c, err := Build(p, "c3.2xlarge", 4, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60 s boot + 90 s config.
+	if now := p.Clock().Now(); now != 150 {
+		t.Errorf("build finished at %v, want 150", now)
+	}
+	if c.Size() != 4 {
+		t.Errorf("size %d", c.Size())
+	}
+	if got := c.Scheduler().TotalSlots(); got != 32 {
+		t.Errorf("slots %d, want 32", got)
+	}
+	if c.Head() == nil || c.Head().Type.Name != "c3.2xlarge" {
+		t.Error("head node wrong")
+	}
+	if c.InstanceType().Cores != 8 {
+		t.Error("instance type")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	p := newProvider()
+	if _, err := Build(p, "c3.2xlarge", 0, DefaultOptions()); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := Build(p, "no-such-type", 2, DefaultOptions()); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestGrowAndShrink(t *testing.T) {
+	p := newProvider()
+	c, err := Build(p, "c3.2xlarge", 1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := c.Grow(35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 35 || c.Size() != 36 {
+		t.Fatalf("grow: %d added, size %d", len(added), c.Size())
+	}
+	if got := c.Scheduler().TotalSlots(); got != 36*8 {
+		t.Errorf("slots %d", got)
+	}
+	if err := c.ShrinkTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 1 {
+		t.Errorf("post-shrink size %d", c.Size())
+	}
+	if got := len(c.Scheduler().ActiveNodes()); got != 1 {
+		t.Errorf("active SGE nodes %d", got)
+	}
+	if got := len(p.Running()); got != 1 {
+		t.Errorf("running VMs %d", got)
+	}
+	// Shrinking to a size >= current is a no-op.
+	if err := c.ShrinkTo(5); err != nil {
+		t.Error(err)
+	}
+	if err := c.ShrinkTo(0); err == nil {
+		t.Error("shrink to 0 accepted")
+	}
+	if _, err := c.Grow(0); err == nil {
+		t.Error("grow by 0 accepted")
+	}
+}
+
+func TestAdoptReusesVMsWithoutReconfig(t *testing.T) {
+	p := newProvider()
+	vms, err := p.RunInstances("r3.2xlarge", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WaitRunning(vms)
+	before := p.Clock().Now()
+	c, err := Adopt(p, vms, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clock().Now() != before {
+		t.Error("Adopt advanced the clock")
+	}
+	if c.Scheduler().TotalSlots() != 24 {
+		t.Errorf("slots %d", c.Scheduler().TotalSlots())
+	}
+	// Adopting pending VMs must fail.
+	fresh, _ := p.RunInstances("r3.2xlarge", 1)
+	if _, err := Adopt(p, fresh, DefaultOptions()); err == nil {
+		t.Error("adopted a pending VM")
+	}
+	if _, err := Adopt(p, nil, DefaultOptions()); err == nil {
+		t.Error("adopted empty VM list")
+	}
+}
+
+func TestClusterRunsSGEJobs(t *testing.T) {
+	p := newProvider()
+	c, err := Build(p, "c3.2xlarge", 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Scheduler().Submit(sge.JobSpec{
+		Name: "asm", Slots: 8, Rule: sge.SingleNode, Duration: 100,
+	}, p.Clock().Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Start != p.Clock().Now() {
+		t.Errorf("job start %v", j.Start)
+	}
+}
+
+func TestSharedStore(t *testing.T) {
+	s := NewSharedStore()
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Error("empty path accepted")
+	}
+	if err := s.Put("data/reads.fastq", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("data/reads.fastq")
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("get: %q %v", got, err)
+	}
+	// Mutating the returned slice must not affect the store.
+	got[0] = 'X'
+	again, _ := s.Get("data/reads.fastq")
+	if !bytes.Equal(again, []byte("hello")) {
+		t.Error("store aliases caller memory")
+	}
+	if !s.Exists("data/reads.fastq") || s.Exists("nope") {
+		t.Error("Exists wrong")
+	}
+	if s.Size("data/reads.fastq") != 5 || s.Size("nope") != 0 {
+		t.Error("Size wrong")
+	}
+	s.Put("data/other", []byte("ab"))
+	s.Put("asm/c1", []byte("c"))
+	if s.TotalBytes() != 8 {
+		t.Errorf("total %d", s.TotalBytes())
+	}
+	list := s.List("data/")
+	if len(list) != 2 || list[0] != "data/other" || list[1] != "data/reads.fastq" {
+		t.Errorf("list %v", list)
+	}
+	if _, err := s.Get("nope"); err == nil {
+		t.Error("missing file read")
+	}
+	s.Delete("data/other")
+	if s.Exists("data/other") {
+		t.Error("delete failed")
+	}
+	s.Delete("data/other") // no-op
+}
+
+func TestStoreCopyTo(t *testing.T) {
+	a, b := NewSharedStore(), NewSharedStore()
+	a.Put("f", []byte("1234"))
+	n, err := a.CopyTo(b, "f")
+	if err != nil || n != 4 {
+		t.Fatalf("copy: %d %v", n, err)
+	}
+	if !b.Exists("f") {
+		t.Error("copy missing at destination")
+	}
+	if _, err := a.CopyTo(b, "missing"); err == nil {
+		t.Error("copied missing file")
+	}
+}
+
+func TestBuildCostAccrues(t *testing.T) {
+	p := newProvider()
+	c, err := Build(p, "c3.2xlarge", 36, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Clock().Advance(vclock.Hour)
+	c.Terminate()
+	cost := p.TotalCost()
+	// 36 nodes for ~1h2.5m at $0.42 ≈ $15.7.
+	if cost < 14 || cost > 18 {
+		t.Errorf("cost $%.2f", cost)
+	}
+}

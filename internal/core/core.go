@@ -1,0 +1,272 @@
+// Package core implements the paper's primary contribution: the
+// pilot-based, scalable RNA-seq pipeline for on-demand computing
+// clouds. It re-architects the Rnnotator workflow (pre-processing →
+// multiple-k-mer de novo transcript assembly → post-processing →
+// quantification, Fig. 1) on top of the pilot framework
+// (internal/pilot), a simulated EC2 (internal/cloud) and
+// StarCluster+SGE clusters (internal/cluster, internal/sge).
+//
+// The package realizes the paper's design space:
+//
+//   - the two pilot↔VM matching schemes of Fig. 5 — S1 couples VM
+//     lifetime to a pilot (free choice of instance type per stage,
+//     but boot and data-transfer overheads), S2 reuses running VMs
+//     across pilots (no transfer, but the stage inherits whatever
+//     instance type the previous stage needed);
+//   - the three workflow patterns of Fig. 2 — Conventional (one pilot
+//     runs everything), DistributedStatic (per-stage pilots with
+//     pre-defined sizes) and DistributedDynamic (stage sizing and
+//     instance selection decided from information produced by the
+//     previous stage, e.g. the k-mer plan known only after
+//     pre-processing);
+//   - the multi-assembler option (MAMP): any subset of the Table I
+//     assemblers runs concurrently, their multi-k outputs merged into
+//     one transcript set.
+package core
+
+import (
+	"fmt"
+
+	"rnascale/internal/cloud"
+	"rnascale/internal/detonate"
+	"rnascale/internal/diffexpr"
+	"rnascale/internal/merge"
+	"rnascale/internal/pilot"
+	"rnascale/internal/preprocess"
+	"rnascale/internal/quant"
+	"rnascale/internal/seq"
+	"rnascale/internal/vclock"
+)
+
+// MatchingScheme selects how pilots map to VMs (paper Fig. 5).
+type MatchingScheme int
+
+const (
+	// S1 couples a pilot with the lifetime of its VMs: every pilot
+	// boots fresh instances and terminates them when it finishes.
+	S1 MatchingScheme = iota
+	// S2 decouples pilots from VM lifetime: a new pilot adopts the
+	// previous pilot's running VMs.
+	S2
+)
+
+// String implements fmt.Stringer.
+func (s MatchingScheme) String() string {
+	switch s {
+	case S1:
+		return "S1"
+	case S2:
+		return "S2"
+	default:
+		return fmt.Sprintf("MatchingScheme(%d)", int(s))
+	}
+}
+
+// WorkflowPattern selects the pilot workflow pattern (paper Fig. 2).
+type WorkflowPattern int
+
+const (
+	// Conventional runs every stage on a single pilot's resources.
+	Conventional WorkflowPattern = iota
+	// DistributedStatic uses per-stage pilots whose sizes and types
+	// are fixed before the run starts.
+	DistributedStatic
+	// DistributedDynamic decides each stage's resources just before
+	// the stage starts, using information from the previous stage
+	// (instance type from the memory model, node count from the k-mer
+	// plan).
+	DistributedDynamic
+)
+
+// String implements fmt.Stringer.
+func (p WorkflowPattern) String() string {
+	switch p {
+	case Conventional:
+		return "conventional"
+	case DistributedStatic:
+		return "distributed-static"
+	case DistributedDynamic:
+		return "distributed-dynamic"
+	default:
+		return fmt.Sprintf("WorkflowPattern(%d)", int(p))
+	}
+}
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	// Scheme is the pilot↔VM matching scheme.
+	Scheme MatchingScheme
+	// Pattern is the workflow pattern.
+	Pattern WorkflowPattern
+	// Assemblers names the Table I tools to run (default:
+	// ["ray"]). Multiple entries enable the MAMP option.
+	Assemblers []string
+	// InstanceType fixes the VM flavour for static patterns; the
+	// dynamic pattern picks per stage (and ignores this unless the
+	// scheme is S2, which inherits the pre-processing choice).
+	InstanceType string
+	// AssemblyNodesOverride fixes the PB cluster size (static
+	// pattern); 0 lets the dynamic sizing rule decide.
+	AssemblyNodesOverride int
+	// NodesPerMPIJob is the node count per MPI assembly job (paper
+	// default: 1, from the finding that MPI jobs gain little from
+	// spanning nodes).
+	NodesPerMPIJob int
+	// ContrailNodes is the node count per Contrail job (paper
+	// default: 16, "at least 16 nodes are needed to match TTCs of the
+	// MPI assemblers").
+	ContrailNodes int
+	// Kmers overrides the multiple-k-mer plan (default: the dataset
+	// profile's plan, known after pre-processing).
+	Kmers []int
+	// MinCoverage overrides each assembler's coverage cutoff (0 =
+	// tool defaults).
+	MinCoverage int
+	// Preprocess are the read-cleaning options.
+	Preprocess preprocess.Options
+	// ConsensusMerge validates contigs by cross-assembler k-mer
+	// support before merging (the ensemble direction the paper leaves
+	// as future work). It only takes effect with ≥2 assemblers.
+	ConsensusMerge bool
+	// ParallelPreprocessShards splits pre-processing across this many
+	// concurrent units on a PA cluster of the same size — the paper's
+	// future-work "data and task-level parallelization" for the
+	// pre-processing stage. 0 or 1 keeps the paper's single-VM PA.
+	ParallelPreprocessShards int
+	// ConditionB, when non-nil, provides a second sample condition:
+	// the PC stage additionally quantifies it against the assembled
+	// transcripts and runs the differential-expression test (the
+	// optional Rnnotator step "for cases when multiple sample
+	// conditions are provided"). Results land in Report.DiffExpr.
+	ConditionB *seq.ReadSet
+	// EvaluateAgainstTruth computes DETONATE metrics against the
+	// dataset's ground-truth transcriptome (not billed: evaluation is
+	// offline analysis, not a pipeline stage).
+	EvaluateAgainstTruth bool
+	// Cloud overrides the provider options (zero value = defaults).
+	Cloud *cloud.Options
+}
+
+// DefaultConfig reproduces the paper's sample-run setup: scheme S2,
+// dynamic workflow, all three distributed assemblers, c3.2xlarge.
+func DefaultConfig() Config {
+	return Config{
+		Scheme:         S2,
+		Pattern:        DistributedDynamic,
+		Assemblers:     []string{"ray", "abyss", "contrail"},
+		InstanceType:   "c3.2xlarge",
+		NodesPerMPIJob: 1,
+		ContrailNodes:  16,
+		Preprocess:     preprocess.DefaultOptions(),
+	}
+}
+
+// withDefaults normalizes a config.
+func (c Config) withDefaults() Config {
+	if len(c.Assemblers) == 0 {
+		c.Assemblers = []string{"ray"}
+	}
+	if c.InstanceType == "" {
+		c.InstanceType = "c3.2xlarge"
+	}
+	if c.NodesPerMPIJob <= 0 {
+		c.NodesPerMPIJob = 1
+	}
+	if c.ContrailNodes <= 0 {
+		c.ContrailNodes = 16
+	}
+	if c.Preprocess == (preprocess.Options{}) {
+		c.Preprocess = preprocess.DefaultOptions()
+	}
+	return c
+}
+
+// StageReport is the accounting for one pipeline stage.
+type StageReport struct {
+	// Name is PA, PB or PC (plus synthetic stages like "transfer").
+	Name string
+	// Pilot is the pilot ID that executed the stage.
+	Pilot string
+	// Start and End bracket the stage in virtual time.
+	Start, End vclock.Time
+	// Note carries stage-specific detail.
+	Note string
+}
+
+// Duration is the stage's virtual span.
+func (s StageReport) Duration() vclock.Duration { return s.End.Sub(s.Start) }
+
+// AssemblyReport is one assembler×k unit's outcome.
+type AssemblyReport struct {
+	Assembler string
+	K         int
+	Contigs   int
+	N50       int
+	TTC       vclock.Duration
+	MemoryGB  float64
+}
+
+// Report is the full outcome of a pipeline run.
+type Report struct {
+	Config     Config
+	Stages     []StageReport
+	Assemblies []AssemblyReport
+	// PreStats summarizes the pre-processing stage.
+	PreStats preprocess.Stats
+	// MergeStats summarizes post-processing contig merging.
+	MergeStats merge.Stats
+	// PerAssembler holds each assembler's merged multi-k contig set
+	// (keyed by tool name); Transcripts is the final (possibly MAMP)
+	// merged set.
+	PerAssembler map[string][]seq.FastaRecord
+	Transcripts  []seq.FastaRecord
+	// Quant is the expression quantification over the final set.
+	Quant *quant.Result
+	// QuantB and DiffExpr are present when Config.ConditionB was
+	// provided: the second condition's quantification and the
+	// differential-expression table.
+	QuantB   *quant.Result
+	DiffExpr []diffexpr.Row
+	// Metrics holds DETONATE scores when evaluation was requested.
+	Metrics *detonate.Metrics
+	// TTC is the end-to-end virtual time (including data upload).
+	TTC vclock.Duration
+	// CostUSD is the cloud bill.
+	CostUSD float64
+	// Bill is the per-type cost breakdown.
+	Bill []cloud.BillLine
+	// KmersUsed is the executed multiple-k-mer plan.
+	KmersUsed []int
+	// AssemblyNodes is the PB cluster size that was used.
+	AssemblyNodes int
+	// Events is the pilot framework's full state-change history
+	// (render with Timeline).
+	Events []pilot.Event
+}
+
+// Timeline renders the run's pilot/unit event history as a text
+// Gantt chart.
+func (r *Report) Timeline(width int) string {
+	return pilot.RenderTimeline(r.Events, width)
+}
+
+// Stage returns the named stage report, if present.
+func (r *Report) Stage(name string) (StageReport, bool) {
+	for _, s := range r.Stages {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StageReport{}, false
+}
+
+// Summary renders the sample-run style narrative.
+func (r *Report) Summary() string {
+	out := fmt.Sprintf("scheme=%s pattern=%s assemblers=%v k=%v nodes=%d\n",
+		r.Config.Scheme, r.Config.Pattern, r.Config.Assemblers, r.KmersUsed, r.AssemblyNodes)
+	for _, s := range r.Stages {
+		out += fmt.Sprintf("  %-10s %8v  (%s)\n", s.Name, s.Duration(), s.Note)
+	}
+	out += fmt.Sprintf("  TTC %v, cost $%.2f, %d transcripts\n", r.TTC, r.CostUSD, len(r.Transcripts))
+	return out
+}

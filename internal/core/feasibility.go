@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rnascale/internal/assembler"
+	"rnascale/internal/cloud"
+	"rnascale/internal/preprocess"
+	"rnascale/internal/quant"
+	"rnascale/internal/simdata"
+)
+
+// Task enumerates the pipeline tasks of the paper's Table IV
+// instance-capacity matrix.
+type Task int
+
+const (
+	// TaskPreprocess is Rnnotator's read pre-processing.
+	TaskPreprocess Task = iota
+	// TaskAssemblyRay is transcript assembly with Ray.
+	TaskAssemblyRay
+	// TaskAssemblyABySS is transcript assembly with ABySS.
+	TaskAssemblyABySS
+	// TaskAssemblyContrail is transcript assembly with Contrail.
+	TaskAssemblyContrail
+	// TaskPostprocess is contig merging + quantification.
+	TaskPostprocess
+)
+
+// Tasks lists the Table IV rows in paper order.
+func Tasks() []Task {
+	return []Task{TaskPreprocess, TaskAssemblyRay, TaskAssemblyABySS, TaskAssemblyContrail, TaskPostprocess}
+}
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	switch t {
+	case TaskPreprocess:
+		return "Pre-Processing"
+	case TaskAssemblyRay:
+		return "Transcript Assembly with Ray"
+	case TaskAssemblyABySS:
+		return "Transcript Assembly with ABySS"
+	case TaskAssemblyContrail:
+		return "Transcript Assembly with Contrail"
+	case TaskPostprocess:
+		return "Post-Processing"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// TableIVClusterNodes is the cluster size underlying the capacity
+// matrix — the same two-node baseline as Table III.
+const TableIVClusterNodes = 2
+
+// TaskMemoryGB reports a task's per-node resident footprint for a
+// dataset at full scale, under the Table IV baseline configuration
+// (pre/post on one node, assembly on the two-node cluster, raw input
+// for assembly as in Fig. 3).
+func TaskMemoryGB(task Task, fs simdata.FullScaleStats) float64 {
+	switch task {
+	case TaskPreprocess:
+		return preprocess.DefaultCostModel().MemoryGB(fs)
+	case TaskAssemblyRay, TaskAssemblyABySS, TaskAssemblyContrail:
+		return assembler.GraphMemoryGB(fs, TableIVClusterNodes)
+	case TaskPostprocess:
+		return quant.DefaultCostModel().MemoryGB(fs)
+	default:
+		return 0
+	}
+}
+
+// Feasible reports whether a task fits the instance type's memory —
+// an "O" cell of Table IV; false is an "X".
+func Feasible(task Task, fs simdata.FullScaleStats, it cloud.InstanceType) bool {
+	return TaskMemoryGB(task, fs) <= it.MemoryGB
+}
+
+// ChooseInstanceType picks the cheapest catalogue type with at least
+// the given memory and cores — the dynamic workflow's per-stage
+// resource decision.
+func ChooseInstanceType(p *cloud.Provider, minMemGB float64, minCores int) (cloud.InstanceType, error) {
+	cands := cloud.DefaultCatalog()
+	sort.Slice(cands, func(a, b int) bool { return cands[a].PricePerHour < cands[b].PricePerHour })
+	for _, it := range cands {
+		if it.MemoryGB >= minMemGB && it.Cores >= minCores {
+			return it, nil
+		}
+	}
+	return cloud.InstanceType{}, fmt.Errorf(
+		"core: no instance type offers %.1f GB with %d cores", minMemGB, minCores)
+}
+
+// AssemblyNodesFor computes the PB cluster size from the k-mer plan —
+// the dynamic-sizing rule behind the sample run's 36-node cluster
+// (4 single-node MPI jobs + 2 sixteen-node Contrail jobs).
+func AssemblyNodesFor(kmers []int, assemblers []string, nodesPerMPIJob, contrailNodes int) int {
+	nodes := 0
+	for _, a := range assemblers {
+		if a == "contrail" {
+			nodes += len(kmers) * contrailNodes
+			continue
+		}
+		nodes += len(kmers) * nodesPerMPIJob
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	return nodes
+}

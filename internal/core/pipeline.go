@@ -1,0 +1,627 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"rnascale/internal/assembler"
+	"rnascale/internal/cloud"
+	"rnascale/internal/cluster"
+	"rnascale/internal/detonate"
+	"rnascale/internal/diffexpr"
+	"rnascale/internal/merge"
+	"rnascale/internal/pilot"
+	"rnascale/internal/preprocess"
+	"rnascale/internal/quant"
+	"rnascale/internal/seq"
+	"rnascale/internal/sge"
+	"rnascale/internal/simdata"
+	"rnascale/internal/vclock"
+)
+
+// Pipeline is one configured run environment.
+type Pipeline struct {
+	cfg      Config
+	clock    *vclock.Clock
+	provider *cloud.Provider
+	pm       *pilot.Manager
+}
+
+// New builds a pipeline with a fresh simulated cloud.
+func New(cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	clock := vclock.NewClock(0)
+	copts := cloud.DefaultOptions()
+	if cfg.Cloud != nil {
+		copts = *cfg.Cloud
+	}
+	provider := cloud.NewProvider(clock, copts)
+	return &Pipeline{
+		cfg:      cfg,
+		clock:    clock,
+		provider: provider,
+		pm:       pilot.NewManager(provider, pilot.NewStateStore(), cluster.DefaultOptions()),
+	}
+}
+
+// Provider exposes the simulated cloud (for inspection in tests and
+// benches).
+func (pl *Pipeline) Provider() *cloud.Provider { return pl.provider }
+
+// Run executes the full workflow over a dataset and returns the
+// report. On stage failure the partial report is returned along with
+// the error, so callers can inspect how far the run got (Table IV's
+// X cells are exactly such failures).
+func Run(ds *simdata.Dataset, cfg Config) (*Report, error) {
+	return New(cfg).Run(ds)
+}
+
+// Run executes the pipeline.
+func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
+	cfg := pl.cfg
+	fs := ds.Profile.FullScale
+	rep := &Report{Config: cfg, PerAssembler: map[string][]seq.FastaRecord{}}
+	for _, name := range cfg.Assemblers {
+		if _, err := assembler.Get(name); err != nil {
+			return rep, err
+		}
+	}
+
+	// --- Stage 0: upload the raw data from the local server ---
+	t0 := pl.clock.Now()
+	pl.provider.UploadFromLocal(fs.SeqDataBytes)
+	rep.Stages = append(rep.Stages, StageReport{
+		Name: "transfer", Start: t0, End: pl.clock.Now(),
+		Note: fmt.Sprintf("%.1f GB to cloud", float64(fs.SeqDataBytes)/1e9),
+	})
+
+	// --- PA: pre-processing ---
+	preModel := preprocess.DefaultCostModel()
+	paType := cfg.InstanceType
+	if cfg.Pattern == DistributedDynamic {
+		it, err := ChooseInstanceType(pl.provider, preModel.MemoryGB(fs), 8)
+		if err != nil {
+			return rep, err
+		}
+		paType = it.Name
+	}
+	shards := cfg.ParallelPreprocessShards
+	if shards < 1 {
+		shards = 1
+	}
+	paDesc := pilot.PilotDescription{
+		Name: "PA", InstanceType: paType, Nodes: shards,
+		// Under S2, VM lifetime belongs to the scheme, not the pilot.
+		RetainVMs: cfg.Scheme == S2 && cfg.Pattern != Conventional,
+	}
+	if cfg.Pattern == Conventional {
+		// One pilot hosts everything: size it for the whole workflow
+		// up front (the pattern's defining inflexibility).
+		kmers := pl.kmerPlan(ds, nil)
+		if n := pl.assemblyNodes(kmers); n > paDesc.Nodes {
+			paDesc.Nodes = n
+		}
+	}
+	pa, err := pl.pm.SubmitPilot(paDesc)
+	if err != nil {
+		return rep, fmt.Errorf("core: launching PA: %w", err)
+	}
+
+	// Shard the raw reads (fragment-preserving) for data-parallel
+	// pre-processing; a single shard is the paper's stock single-VM PA.
+	shardReads := shardReadSet(ds.Reads, shards)
+	shardClean := make([]seq.ReadSet, shards)
+	shardStats := make([]preprocess.Stats, shards)
+	fsShard := fs
+	fsShard.SeqDataBytes = fs.SeqDataBytes / int64(shards)
+
+	paUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
+	if err := paUM.AddPilots(pa); err != nil {
+		return rep, err
+	}
+	paStart := pl.clock.Now()
+	var paDescs []pilot.UnitDescription
+	for s := 0; s < shards; s++ {
+		s := s
+		paDescs = append(paDescs, pilot.UnitDescription{
+			Name:  fmt.Sprintf("preprocess-%d", s),
+			Slots: min(pa.Cluster.InstanceType().Cores, 8),
+			Rule:  sge.SingleNode,
+			Work: func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
+				shardClean[s], shardStats[s] = preprocess.Run(shardReads[s], cfg.Preprocess)
+				return pilot.WorkResult{
+					Duration:     preModel.Duration(fsShard, env.Slots),
+					PeakMemoryGB: preModel.MemoryGB(fsShard),
+				}, nil
+			},
+		})
+	}
+	paUnits, err := paUM.Submit(paDescs)
+	if err != nil {
+		return rep, err
+	}
+	if err := paUM.Run(); err != nil {
+		return rep, err
+	}
+	for _, u := range paUnits {
+		if u.State() != pilot.UnitDone {
+			rep.Stages = append(rep.Stages, StageReport{Name: "PA", Pilot: pa.ID, Start: paStart, End: pl.clock.Now(), Note: "FAILED"})
+			pl.teardown(pa)
+			rep.finish(pl)
+			return rep, fmt.Errorf("core: PA pre-processing failed on %s: %w", paType, u.Err)
+		}
+	}
+	cleaned := seq.ReadSet{Paired: ds.Reads.Paired}
+	var preStats preprocess.Stats
+	for s := 0; s < shards; s++ {
+		cleaned.Reads = append(cleaned.Reads, shardClean[s].Reads...)
+		preStats = combineStats(preStats, shardStats[s])
+	}
+	if preStats.OutputReads == 0 {
+		pl.teardown(pa)
+		rep.finish(pl)
+		return rep, fmt.Errorf("core: pre-processing removed every read")
+	}
+	var fq bytes.Buffer
+	if err := seq.WriteFastq(&fq, cleaned.Reads); err != nil {
+		return rep, err
+	}
+	if err := pa.Cluster.Store().Put("data/clean.fastq", fq.Bytes()); err != nil {
+		return rep, err
+	}
+	rep.PreStats = preStats
+	rep.Stages = append(rep.Stages, StageReport{
+		Name: "PA", Pilot: pa.ID, Start: paStart, End: pl.clock.Now(),
+		Note: preStats.String(),
+	})
+
+	// The k-mer plan is now known — the information the dynamic
+	// workflow waits for.
+	kmers := pl.kmerPlan(ds, &preStats)
+	rep.KmersUsed = kmers
+	asmFS := fs
+	asmFS.SeqDataBytes = fs.PostPreprocessBytes
+
+	// --- PB: multiple-k-mer, multi-assembler transcript assembly ---
+	nodes := pl.assemblyNodes(kmers)
+	rep.AssemblyNodes = nodes
+	pb, transferNote, err := pl.nextPilot("PB", pa, nodes, func() (string, error) {
+		// Instance choice for a fresh (S1) PB pilot.
+		if cfg.Pattern != DistributedDynamic {
+			return cfg.InstanceType, nil
+		}
+		need := assembler.GraphMemoryGB(asmFS, cfg.NodesPerMPIJob)
+		it, err := ChooseInstanceType(pl.provider, need, 8)
+		if err != nil {
+			return "", err
+		}
+		return it.Name, nil
+	}, fs.PostPreprocessBytes, pa.Cluster.Store())
+	if err != nil {
+		rep.finish(pl)
+		return rep, fmt.Errorf("core: launching PB: %w", err)
+	}
+
+	pbStart := pl.clock.Now()
+	pbUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
+	if err := pbUM.AddPilots(pb); err != nil {
+		return rep, err
+	}
+	cores := pb.Cluster.InstanceType().Cores
+	type asmKey struct {
+		name string
+		k    int
+	}
+	outputs := map[asmKey][]seq.FastaRecord{}
+	var descs []pilot.UnitDescription
+	for _, name := range cfg.Assemblers {
+		name := name
+		a, _ := assembler.Get(name)
+		jobNodes := cfg.NodesPerMPIJob
+		rule := sge.SingleNode
+		if name == "contrail" {
+			jobNodes = cfg.ContrailNodes
+			rule = sge.FillUp
+		} else if !a.Info().MultiNode() {
+			jobNodes = 1
+		}
+		if jobNodes > 1 {
+			rule = sge.FillUp
+		}
+		for _, k := range kmers {
+			k := k
+			jobNodes := jobNodes
+			descs = append(descs, pilot.UnitDescription{
+				Name:  fmt.Sprintf("%s-k%d", name, k),
+				Slots: jobNodes * cores,
+				Rule:  rule,
+				Work: func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
+					extra := vclock.Duration(0)
+					jobReads := cleaned.Reads
+					if name == "contrail" {
+						// Contrail cannot handle N bases (the paper
+						// pre-processes P. Crispa for exactly this
+						// reason): feed it the N-free subset, via the
+						// SFA conversion the paper charges 1 min for.
+						jobReads = dropNReads(jobReads)
+						var buf bytes.Buffer
+						if err := seq.WriteSFA(&buf, jobReads); err != nil {
+							return pilot.WorkResult{}, err
+						}
+						if err := env.Store.Put(fmt.Sprintf("data/clean.k%d.sfa", k), buf.Bytes()); err != nil {
+							return pilot.WorkResult{}, err
+						}
+						extra = 60 * vclock.Second
+					}
+					res, err := a.Assemble(assembler.Request{
+						Reads:        jobReads,
+						Params:       assembler.Params{K: k, MinCoverage: cfg.MinCoverage},
+						Nodes:        jobNodes,
+						CoresPerNode: cores,
+						FullScale:    asmFS,
+					})
+					if err != nil {
+						return pilot.WorkResult{}, err
+					}
+					outputs[asmKey{name, k}] = res.Contigs
+					var buf bytes.Buffer
+					if err := seq.WriteFasta(&buf, res.Contigs, 80); err != nil {
+						return pilot.WorkResult{}, err
+					}
+					if err := env.Store.Put(fmt.Sprintf("asm/%s/k%d.contigs.fa", name, k), buf.Bytes()); err != nil {
+						return pilot.WorkResult{}, err
+					}
+					return pilot.WorkResult{
+						Duration:     res.TTC + extra,
+						PeakMemoryGB: res.PeakMemoryGBPerNode,
+						Output:       asmOutput{name: name, k: k, res: res},
+					}, nil
+				},
+			})
+		}
+	}
+	pbUnits, err := pbUM.Submit(descs)
+	if err != nil {
+		return rep, err
+	}
+	if err := pbUM.Run(); err != nil {
+		return rep, err
+	}
+	for _, u := range pbUnits {
+		if u.State() != pilot.UnitDone {
+			rep.Stages = append(rep.Stages, StageReport{Name: "PB", Pilot: pb.ID, Start: pbStart, End: pl.clock.Now(), Note: "FAILED"})
+			pl.teardown(pa, pb)
+			rep.finish(pl)
+			return rep, fmt.Errorf("core: PB unit %s failed: %w", u.ID, u.Err)
+		}
+		out := u.Result.Output.(asmOutput)
+		rep.Assemblies = append(rep.Assemblies, AssemblyReport{
+			Assembler: out.name, K: out.k,
+			Contigs: len(out.res.Contigs), N50: out.res.N50,
+			TTC: out.res.TTC, MemoryGB: out.res.PeakMemoryGBPerNode,
+		})
+	}
+	rep.Stages = append(rep.Stages, StageReport{
+		Name: "PB", Pilot: pb.ID, Start: pbStart, End: pl.clock.Now(),
+		Note: fmt.Sprintf("%d assembly jobs on %d nodes%s", len(pbUnits), nodes, transferNote),
+	})
+
+	// --- PC: post-processing, quantification ---
+	postModel := quant.DefaultCostModel()
+	var pbOutBytes int64
+	for _, set := range outputs {
+		for _, c := range set {
+			pbOutBytes += int64(len(c.Seq)) + int64(len(c.ID)) + 2
+		}
+	}
+	pc, pcTransferNote, err := pl.nextPilot("PC", pb, 1, func() (string, error) {
+		if cfg.Pattern != DistributedDynamic {
+			return cfg.InstanceType, nil
+		}
+		it, err := ChooseInstanceType(pl.provider, postModel.MemoryGB(fs), 8)
+		if err != nil {
+			return "", err
+		}
+		return it.Name, nil
+	}, pbOutBytes, pb.Cluster.Store())
+	if err != nil {
+		rep.finish(pl)
+		return rep, fmt.Errorf("core: launching PC: %w", err)
+	}
+	pcStart := pl.clock.Now()
+	pcUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
+	if err := pcUM.AddPilots(pc); err != nil {
+		return rep, err
+	}
+	pcUnits, err := pcUM.Submit([]pilot.UnitDescription{{
+		Name:  "postprocess",
+		Slots: min(pc.Cluster.InstanceType().Cores, 8),
+		Rule:  sge.SingleNode,
+		Work: func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
+			// Merge each assembler's multi-k sets, then the MAMP union
+			// (optionally with cross-assembler consensus validation).
+			var all [][]seq.FastaRecord
+			for _, name := range cfg.Assemblers {
+				var sets [][]seq.FastaRecord
+				for _, k := range kmers {
+					sets = append(sets, outputs[asmKey{name, k}])
+				}
+				perTool, _ := merge.Merge(sets, merge.DefaultOptions())
+				rep.PerAssembler[name] = perTool
+				all = append(all, perTool)
+			}
+			var final []seq.FastaRecord
+			if cfg.ConsensusMerge && len(all) >= 2 {
+				f, cs, err := merge.ConsensusMerge(all, merge.DefaultConsensusOptions())
+				if err != nil {
+					return pilot.WorkResult{}, err
+				}
+				final = f
+				rep.MergeStats = cs.Stats
+			} else {
+				f, mstats := merge.Merge(all, merge.DefaultOptions())
+				final = f
+				rep.MergeStats = mstats
+			}
+			rep.Transcripts = final
+			var buf bytes.Buffer
+			if err := seq.WriteFasta(&buf, final, 80); err != nil {
+				return pilot.WorkResult{}, err
+			}
+			if err := env.Store.Put("post/transcripts.fa", buf.Bytes()); err != nil {
+				return pilot.WorkResult{}, err
+			}
+			q, err := quant.Quantify(final, cleaned.Reads, quant.DefaultOptions())
+			if err != nil {
+				return pilot.WorkResult{}, err
+			}
+			rep.Quant = q
+			dur := postModel.Duration(fs, env.Slots)
+			if cfg.ConditionB != nil {
+				// Optional differential-expression step: clean and
+				// quantify the second condition, then test — charged as
+				// a second quantification pass.
+				cleanB, _ := preprocess.Run(*cfg.ConditionB, cfg.Preprocess)
+				qb, err := quant.Quantify(final, cleanB.Reads, quant.DefaultOptions())
+				if err != nil {
+					return pilot.WorkResult{}, err
+				}
+				rep.QuantB = qb
+				ids := make([]string, len(final))
+				ca := make([]int64, len(final))
+				cb := make([]int64, len(final))
+				idx := map[string]int{}
+				for i, tx := range final {
+					ids[i] = tx.ID
+					idx[tx.ID] = i
+				}
+				for _, a := range q.Abundances {
+					ca[idx[a.ID]] = a.Count
+				}
+				for _, a := range qb.Abundances {
+					cb[idx[a.ID]] = a.Count
+				}
+				rows, err := diffexpr.Test(ids, ca, cb, diffexpr.DefaultOptions())
+				if err != nil {
+					return pilot.WorkResult{}, fmt.Errorf("differential expression: %w", err)
+				}
+				rep.DiffExpr = rows
+				dur += postModel.Duration(fs, env.Slots)
+			}
+			return pilot.WorkResult{
+				Duration:     dur,
+				PeakMemoryGB: postModel.MemoryGB(fs),
+			}, nil
+		},
+	}})
+	if err != nil {
+		return rep, err
+	}
+	if err := pcUM.Run(); err != nil {
+		return rep, err
+	}
+	if st := pcUnits[0].State(); st != pilot.UnitDone {
+		rep.Stages = append(rep.Stages, StageReport{Name: "PC", Pilot: pc.ID, Start: pcStart, End: pl.clock.Now(), Note: "FAILED"})
+		pl.teardown(pa, pb, pc)
+		rep.finish(pl)
+		return rep, fmt.Errorf("core: PC post-processing failed: %w", pcUnits[0].Err)
+	}
+	rep.Stages = append(rep.Stages, StageReport{
+		Name: "PC", Pilot: pc.ID, Start: pcStart, End: pl.clock.Now(),
+		Note: rep.MergeStats.String() + pcTransferNote,
+	})
+
+	// --- Wrap up: terminate everything, bill, evaluate ---
+	pl.teardown(pa, pb, pc)
+	rep.finish(pl)
+
+	if cfg.EvaluateAgainstTruth {
+		opts := detonate.DefaultOptions()
+		opts.ReadBases = cleaned.TotalBases()
+		// Score against the gene-annotation track when present — the
+		// paper evaluates against predicted protein gene sequences,
+		// not full mRNAs.
+		truth := ds.Annotations
+		if len(truth) == 0 {
+			truth = ds.Transcripts
+		}
+		m, err := detonate.Evaluate(rep.Transcripts, truth, ds.Expression, opts)
+		if err != nil {
+			return rep, err
+		}
+		rep.Metrics = &m
+	}
+	return rep, nil
+}
+
+// kmerPlan resolves the multiple-k-mer plan.
+func (pl *Pipeline) kmerPlan(ds *simdata.Dataset, st *preprocess.Stats) []int {
+	if len(pl.cfg.Kmers) > 0 {
+		return pl.cfg.Kmers
+	}
+	if len(ds.Profile.FullScale.AssemblyKmers) > 0 {
+		return ds.Profile.FullScale.AssemblyKmers
+	}
+	mean := float64(ds.Profile.ReadLen)
+	if st != nil && st.MeanReadLen > 0 {
+		mean = st.MeanReadLen
+	}
+	return preprocess.KmerPlan(mean, ds.Profile.ReadLen)
+}
+
+// assemblyNodes resolves the PB cluster size.
+func (pl *Pipeline) assemblyNodes(kmers []int) int {
+	if pl.cfg.AssemblyNodesOverride > 0 {
+		return pl.cfg.AssemblyNodesOverride
+	}
+	return AssemblyNodesFor(kmers, pl.cfg.Assemblers, pl.cfg.NodesPerMPIJob, pl.cfg.ContrailNodes)
+}
+
+// nextPilot provisions the pilot for the next stage according to the
+// matching scheme and workflow pattern, migrating `stageBytes` of
+// data from the previous stage's store. It returns the pilot and a
+// human-readable note about any data transfer performed.
+func (pl *Pipeline) nextPilot(name string, prev *pilot.Pilot, nodes int,
+	chooseType func() (string, error), stageBytes int64, prevStore *cluster.SharedStore) (*pilot.Pilot, string, error) {
+
+	if pl.cfg.Pattern == Conventional {
+		// Single-pilot workflow: reuse the original pilot untouched.
+		return prev, "", nil
+	}
+	switch pl.cfg.Scheme {
+	case S2:
+		// Reuse the previous pilot's VMs; grow or shrink to size.
+		if err := pl.pm.CompletePilot(prev); err != nil {
+			return nil, "", err
+		}
+		vms := prev.Cluster.VMs()
+		if len(vms) > nodes {
+			// Terminate the excess (sample run: "other 35 VMs, which
+			// are not necessary for PC, are terminated").
+			pl.provider.Terminate(vms[nodes:]...)
+			vms = vms[:nodes]
+		} else if len(vms) < nodes {
+			extra, err := pl.provider.RunInstances(prev.Cluster.InstanceType().Name, nodes-len(vms))
+			if err != nil {
+				return nil, "", err
+			}
+			pl.provider.WaitRunning(extra)
+			pl.clock.Advance(cluster.DefaultOptions().ConfigPerNode)
+			vms = append(vms, extra...)
+		}
+		p, err := pl.pm.SubmitPilot(pilot.PilotDescription{Name: name, ReuseVMs: vms})
+		if err != nil {
+			return nil, "", err
+		}
+		// Shared filesystem persists across pilots under S2: no
+		// transfer, just carry the files over.
+		copyStore(prevStore, p.Cluster.Store())
+		return p, "", nil
+	default: // S1
+		itype, err := chooseType()
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := pl.pm.SubmitPilot(pilot.PilotDescription{Name: name, InstanceType: itype, Nodes: nodes})
+		if err != nil {
+			return nil, "", err
+		}
+		// Migrate data between the old and new pilots' filesystems,
+		// then release the previous pilot's VMs.
+		d := pl.provider.InterNodeTransfer(stageBytes)
+		pl.clock.Advance(d)
+		copyStore(prevStore, p.Cluster.Store())
+		if err := pl.pm.CompletePilot(prev); err != nil {
+			return nil, "", err
+		}
+		return p, fmt.Sprintf("; %v inter-pilot data transfer", d), nil
+	}
+}
+
+// teardown completes every pilot and terminates all VMs.
+func (pl *Pipeline) teardown(ps ...*pilot.Pilot) {
+	for _, p := range ps {
+		if p != nil {
+			_ = pl.pm.CompletePilot(p)
+		}
+	}
+	pl.provider.TerminateAll()
+}
+
+// finish stamps the report's totals.
+func (r *Report) finish(pl *Pipeline) {
+	r.TTC = vclock.Duration(pl.clock.Now())
+	r.CostUSD = pl.provider.TotalCost()
+	r.Bill = pl.provider.Bill()
+	r.Events = pl.pm.Store().History()
+}
+
+// copyStore copies every file between shared stores.
+func copyStore(src, dst *cluster.SharedStore) {
+	if src == dst || src == nil || dst == nil {
+		return
+	}
+	for _, path := range src.List("") {
+		_, _ = src.CopyTo(dst, path)
+	}
+}
+
+// asmOutput threads an assembly unit's identity and result through
+// the pilot framework's opaque output slot.
+type asmOutput struct {
+	name string
+	k    int
+	res  assembler.Result
+}
+
+// shardReadSet splits reads into n fragment-preserving shards by
+// round-robin over fragments.
+func shardReadSet(rs seq.ReadSet, n int) []seq.ReadSet {
+	out := make([]seq.ReadSet, n)
+	for i := range out {
+		out[i].Paired = rs.Paired
+	}
+	stride := 1
+	if rs.Paired {
+		stride = 2
+	}
+	for f := 0; f*stride < len(rs.Reads); f++ {
+		s := f % n
+		out[s].Reads = append(out[s].Reads, rs.Reads[f*stride:min((f+1)*stride, len(rs.Reads))]...)
+	}
+	return out
+}
+
+// combineStats folds per-shard pre-processing statistics.
+func combineStats(a, b preprocess.Stats) preprocess.Stats {
+	a.InputReads += b.InputReads
+	a.OutputReads += b.OutputReads
+	a.InputBases += b.InputBases
+	a.OutputBases += b.OutputBases
+	a.TrimmedBases += b.TrimmedBases
+	a.DroppedNRich += b.DroppedNRich
+	a.DroppedShort += b.DroppedShort
+	a.DroppedDup += b.DroppedDup
+	if a.OutputReads > 0 {
+		a.MeanReadLen = float64(a.OutputBases) / float64(a.OutputReads)
+	}
+	return a
+}
+
+// dropNReads filters reads containing ambiguous bases.
+func dropNReads(reads []seq.Read) []seq.Read {
+	out := make([]seq.Read, 0, len(reads))
+	for _, r := range reads {
+		if seq.CountN(r.Seq) == 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rnascale/internal/assembler"
+	"rnascale/internal/cloud"
+	"rnascale/internal/cluster"
+	"rnascale/internal/preprocess"
+	"rnascale/internal/quant"
+	"rnascale/internal/sge"
+	"rnascale/internal/simdata"
+	"rnascale/internal/vclock"
+)
+
+// This file implements the planning layer the paper identifies as the
+// prerequisite for a fully dynamically adaptive workflow: "factors and
+// conditions affecting the performance of a workflow should be known,
+// along with a means for a rough estimate on TTCs of sub tasks a
+// priori". Predict turns a configuration into per-stage TTC and cost
+// estimates using only the cost models (no assembly is run); Optimize
+// searches candidate configurations for the best predicted objective.
+
+// Plan is a predicted execution of a configuration.
+type Plan struct {
+	Config Config
+	// Per-stage predicted durations.
+	Transfer, PA, PB, PC vclock.Duration
+	// TTC is the predicted end-to-end virtual time.
+	TTC vclock.Duration
+	// CostUSD is the predicted cloud bill.
+	CostUSD float64
+	// AssemblyNodes is the PB cluster size the plan assumes.
+	AssemblyNodes int
+	// InstanceType is the flavour the plan assumes (the dynamic
+	// pattern's choice, or the configured one).
+	InstanceType string
+}
+
+// String renders the plan compactly.
+func (p Plan) String() string {
+	return fmt.Sprintf("%v/%v on %d×%s: transfer %v, PA %v, PB %v, PC %v → TTC %v, $%.2f",
+		p.Config.Scheme, p.Config.Pattern, p.AssemblyNodes, p.InstanceType,
+		p.Transfer, p.PA, p.PB, p.PC, p.TTC, p.CostUSD)
+}
+
+// Objective selects what Optimize minimizes.
+type Objective int
+
+const (
+	// MinimizeTTC optimizes for time-to-completion ("decreasing
+	// time-to-completion (TTC) or cost" — the paper's twin goals).
+	MinimizeTTC Objective = iota
+	// MinimizeCost optimizes for the cloud bill.
+	MinimizeCost
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	if o == MinimizeCost {
+		return "cost"
+	}
+	return "TTC"
+}
+
+// Predict estimates the stage durations and bill of running cfg on
+// the dataset, using the same cost models the simulation uses but no
+// computation. Accuracy against Run is validated in tests (the MPI
+// estimates land within a few percent; Contrail within tens of
+// percent).
+func Predict(ds *simdata.Dataset, cfg Config) (Plan, error) {
+	cfg = cfg.withDefaults()
+	fs := ds.Profile.FullScale
+	copts := cloud.DefaultOptions()
+	if cfg.Cloud != nil {
+		copts = *cfg.Cloud
+	}
+	clopts := cluster.DefaultOptions()
+	plan := Plan{Config: cfg}
+
+	// Instance type (mirrors Run's dynamic choice for PA; S2 keeps it
+	// for every stage).
+	preModel := preprocess.DefaultCostModel()
+	itName := cfg.InstanceType
+	if cfg.Pattern == DistributedDynamic {
+		it, err := ChooseInstanceType(cloud.NewProvider(vclock.NewClock(0), copts), preModel.MemoryGB(fs), 8)
+		if err != nil {
+			return plan, err
+		}
+		itName = it.Name
+	}
+	it, err := cloud.NewProvider(vclock.NewClock(0), copts).LookupType(itName)
+	if err != nil {
+		return plan, err
+	}
+	plan.InstanceType = it.Name
+	cores := it.Cores
+
+	// Memory feasibility (the prediction-time Table IV check).
+	shards := cfg.ParallelPreprocessShards
+	if shards < 1 {
+		shards = 1
+	}
+	fsShard := fs
+	fsShard.SeqDataBytes /= int64(shards)
+	if preModel.MemoryGB(fsShard) > it.MemoryGB {
+		return plan, fmt.Errorf("core: plan infeasible: pre-processing needs %.1f GB, %s offers %.1f GB",
+			preModel.MemoryGB(fsShard), it.Name, it.MemoryGB)
+	}
+
+	// Stage 0: upload.
+	plan.Transfer = copts.Ingress.Transfer(fs.SeqDataBytes)
+
+	// PA: boot + configure + (sharded) cleaning.
+	boot := copts.BootLatency + clopts.ConfigPerNode
+	plan.PA = preModel.Duration(fsShard, min(cores, 8))
+
+	// PB: predict each assembly job and list-schedule them on the PB
+	// cluster exactly as SGE will.
+	kmers := cfg.Kmers
+	if len(kmers) == 0 {
+		kmers = fs.AssemblyKmers
+	}
+	if len(kmers) == 0 {
+		kmers = preprocess.KmerPlan(float64(ds.Profile.ReadLen), ds.Profile.ReadLen)
+	}
+	nodes := cfg.AssemblyNodesOverride
+	if nodes <= 0 {
+		nodes = AssemblyNodesFor(kmers, cfg.Assemblers, cfg.NodesPerMPIJob, cfg.ContrailNodes)
+	}
+	plan.AssemblyNodes = nodes
+	asmFS := fs
+	asmFS.SeqDataBytes = fs.PostPreprocessBytes
+
+	specs := make([]sge.NodeSpec, nodes)
+	for i := range specs {
+		specs[i] = sge.NodeSpec{Name: fmt.Sprintf("n%03d", i), Slots: cores, MemoryGB: it.MemoryGB}
+	}
+	sched, err := sge.New(specs)
+	if err != nil {
+		return plan, err
+	}
+	for _, name := range cfg.Assemblers {
+		a, err := assembler.Get(name)
+		if err != nil {
+			return plan, err
+		}
+		est, ok := a.(assembler.TTCEstimator)
+		if !ok {
+			return plan, fmt.Errorf("core: %s offers no TTC estimation", name)
+		}
+		jobNodes := cfg.NodesPerMPIJob
+		rule := sge.SingleNode
+		if name == "contrail" {
+			jobNodes = cfg.ContrailNodes
+		} else if !a.Info().MultiNode() {
+			jobNodes = 1
+		}
+		if jobNodes > 1 {
+			rule = sge.FillUp
+		}
+		for _, k := range kmers {
+			d, err := est.EstimateTTC(assembler.Request{
+				Params: assembler.Params{K: k, MinCoverage: cfg.MinCoverage},
+				Nodes:  jobNodes, CoresPerNode: cores,
+				FullScale: asmFS,
+			})
+			if err != nil {
+				return plan, fmt.Errorf("core: estimating %s k=%d: %w", name, k, err)
+			}
+			// Memory feasibility per job.
+			if mem := assembler.GraphMemoryGB(asmFS, jobNodes); mem > it.MemoryGB {
+				return plan, fmt.Errorf("core: plan infeasible: %s needs %.1f GB/node on %d node(s), %s offers %.1f GB",
+					name, mem, jobNodes, it.Name, it.MemoryGB)
+			}
+			if name == "contrail" {
+				d += 60 * vclock.Second // SFA conversion
+			}
+			if _, err := sched.Submit(sge.JobSpec{
+				Name: fmt.Sprintf("%s-k%d", name, k), Slots: jobNodes * cores,
+				Rule: rule, Duration: d,
+			}, 0); err != nil {
+				return plan, err
+			}
+		}
+	}
+	plan.PB = vclock.Duration(sched.Makespan())
+
+	// PC: merging + quantification (twice with a second condition).
+	postModel := quant.DefaultCostModel()
+	plan.PC = postModel.Duration(fs, min(cores, 8))
+	if cfg.ConditionB != nil {
+		plan.PC *= 2
+	}
+
+	// Assemble the timeline and the bill, scheme-dependent.
+	growBoot := boot // booting the PB workers
+	var interTransfer vclock.Duration
+	if cfg.Scheme == S1 && cfg.Pattern != Conventional {
+		interTransfer = copts.InterNode.Transfer(fs.PostPreprocessBytes)
+	}
+	plan.TTC = plan.Transfer + boot + plan.PA + growBoot + interTransfer + plan.PB + plan.PC
+
+	// Bill: one node across the whole run plus (nodes-1) across the PB
+	// window (plus its boot). This matches both schemes to first
+	// order; S1's extra boots shift a few minutes between lines.
+	price := it.PricePerHour
+	fullWindow := plan.TTC - plan.Transfer
+	pbWindow := vclock.Duration(growBoot) + plan.PB
+	plan.CostUSD = price*fullWindow.Hours()*float64(max(1, shards)) +
+		price*pbWindow.Hours()*float64(nodes-1)
+	// Avoid double-counting the PA shards beyond the head node during
+	// the non-PA window: refine to head (full) + extra shards (PA
+	// window) + workers (PB window).
+	if shards > 1 {
+		plan.CostUSD = price*fullWindow.Hours() +
+			price*(vclock.Duration(boot)+plan.PA).Hours()*float64(shards-1) +
+			price*pbWindow.Hours()*float64(nodes-1)
+	}
+	return plan, nil
+}
+
+// Optimize predicts every candidate configuration and returns the
+// feasible plan minimizing the objective. Infeasible candidates
+// (memory, unknown tools) are skipped; an error is returned only when
+// no candidate is feasible.
+func Optimize(ds *simdata.Dataset, candidates []Config, obj Objective) (Plan, error) {
+	if len(candidates) == 0 {
+		return Plan{}, fmt.Errorf("core: no candidate configurations")
+	}
+	var best Plan
+	bestScore := math.Inf(1)
+	found := false
+	var lastErr error
+	for _, cfg := range candidates {
+		plan, err := Predict(ds, cfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		score := plan.TTC.Seconds()
+		if obj == MinimizeCost {
+			score = plan.CostUSD
+		}
+		if score < bestScore {
+			best, bestScore, found = plan, score, true
+		}
+	}
+	if !found {
+		return Plan{}, fmt.Errorf("core: no feasible candidate (last error: %v)", lastErr)
+	}
+	return best, nil
+}
+
+// Frontier predicts every candidate and returns the Pareto-optimal
+// plans under (TTC, cost) — the "decreasing time-to-completion (TTC)
+// or cost" trade-off the paper frames as the pipeline's twin goals.
+// The result is sorted by ascending TTC; infeasible candidates are
+// skipped.
+func Frontier(ds *simdata.Dataset, candidates []Config) ([]Plan, error) {
+	var plans []Plan
+	for _, cfg := range candidates {
+		p, err := Predict(ds, cfg)
+		if err != nil {
+			continue
+		}
+		plans = append(plans, p)
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("core: no feasible candidate among %d", len(candidates))
+	}
+	// A plan is dominated if another is at least as good on both axes
+	// and strictly better on one.
+	var frontier []Plan
+	for i, p := range plans {
+		dominated := false
+		for j, q := range plans {
+			if i == j {
+				continue
+			}
+			if q.TTC <= p.TTC && q.CostUSD <= p.CostUSD &&
+				(q.TTC < p.TTC || q.CostUSD < p.CostUSD) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, p)
+		}
+	}
+	sortPlansByTTC(frontier)
+	return frontier, nil
+}
+
+// sortPlansByTTC orders plans fastest-first (ties by cost).
+func sortPlansByTTC(plans []Plan) {
+	for i := 1; i < len(plans); i++ {
+		for j := i; j > 0; j-- {
+			a, b := plans[j-1], plans[j]
+			if b.TTC < a.TTC || (b.TTC == a.TTC && b.CostUSD < a.CostUSD) {
+				plans[j-1], plans[j] = b, a
+				continue
+			}
+			break
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

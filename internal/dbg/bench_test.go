@@ -1,0 +1,67 @@
+package dbg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraphInput(b *testing.B) []string {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	genomes := make([]string, 4)
+	for i := range genomes {
+		genomes[i] = randomSeqStr(rng, 2000)
+	}
+	return genomes
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	genomes := benchGraphInput(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := New(31)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, gen := range genomes {
+			for _, r := range shred(gen, 80, 3) {
+				g.AddRead(r.Seq)
+			}
+		}
+	}
+}
+
+func BenchmarkUnitigs(b *testing.B) {
+	genomes := benchGraphInput(b)
+	g, _ := New(31)
+	for _, gen := range genomes {
+		for _, r := range shred(gen, 80, 3) {
+			g.AddRead(r.Seq)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(g.Unitigs(100)) == 0 {
+			b.Fatal("no unitigs")
+		}
+	}
+}
+
+func BenchmarkContigsFullPipeline(b *testing.B) {
+	genomes := benchGraphInput(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _ := New(31)
+		for _, gen := range genomes {
+			for _, r := range shred(gen, 80, 3) {
+				g.AddRead(r.Seq)
+			}
+		}
+		if len(g.Contigs("bench", 100)) == 0 {
+			b.Fatal("no contigs")
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package dbg implements the De Bruijn graph core shared by every
+// assembler in this reproduction (Table I: Ray, ABySS and Contrail are
+// all DBG assemblers, as are Rnnotator's single-node options).
+//
+// The graph stores canonical k-mers with coverage counts; edges are
+// implicit — a (k-1)-overlap neighbour exists iff its canonical form
+// is present — which is the memory-lean representation that makes the
+// per-node footprint of distributed assemblers proportional to their
+// k-mer partition. Simplification follows the standard recipe: tip
+// clipping, simple bubble popping, then maximal non-branching path
+// (unitig) extraction.
+package dbg
+
+import (
+	"fmt"
+	"sort"
+
+	"rnascale/internal/seq"
+)
+
+// Graph is a canonical-k-mer De Bruijn graph.
+type Graph struct {
+	coder seq.KmerCoder
+	nodes map[seq.Kmer]uint32 // canonical k-mer -> coverage
+}
+
+// New returns an empty graph for k-mer size k.
+func New(k int) (*Graph, error) {
+	coder, err := seq.NewKmerCoder(k)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{coder: coder, nodes: make(map[seq.Kmer]uint32)}, nil
+}
+
+// K reports the k-mer size.
+func (g *Graph) K() int { return g.coder.K }
+
+// Len reports the number of distinct canonical k-mers.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Coder exposes the graph's k-mer codec.
+func (g *Graph) Coder() seq.KmerCoder { return g.coder }
+
+// AddRead counts every k-mer of the read (N-containing windows are
+// skipped by the codec).
+func (g *Graph) AddRead(read []byte) {
+	g.coder.ForEach(read, func(_ int, km seq.Kmer) bool {
+		canon, _ := g.coder.Canonical(km)
+		g.nodes[canon]++
+		return true
+	})
+}
+
+// AddCount merges an externally-counted canonical k-mer (used by the
+// distributed assemblers, whose ranks count partitions separately).
+func (g *Graph) AddCount(canonical seq.Kmer, count uint32) {
+	g.nodes[canonical] += count
+}
+
+// Coverage reports a canonical k-mer's count (0 if absent).
+func (g *Graph) Coverage(canonical seq.Kmer) uint32 { return g.nodes[canonical] }
+
+// Build constructs a graph from reads and drops k-mers below
+// minCount (sequencing-error removal).
+func Build(reads []seq.Read, k, minCount int) (*Graph, error) {
+	g, err := New(k)
+	if err != nil {
+		return nil, err
+	}
+	for i := range reads {
+		g.AddRead(reads[i].Seq)
+	}
+	g.DropBelow(uint32(minCount))
+	return g, nil
+}
+
+// DropBelow removes k-mers with coverage below min.
+func (g *Graph) DropBelow(min uint32) {
+	for km, c := range g.nodes {
+		if c < min {
+			delete(g.nodes, km)
+		}
+	}
+}
+
+// has reports whether the canonical form of km is present.
+func (g *Graph) has(km seq.Kmer) bool {
+	canon, _ := g.coder.Canonical(km)
+	_, ok := g.nodes[canon]
+	return ok
+}
+
+// successors returns the forward extensions of the oriented k-mer fwd
+// that exist in the graph, as oriented k-mers.
+func (g *Graph) successors(fwd seq.Kmer) []seq.Kmer {
+	var out []seq.Kmer
+	for _, b := range [4]byte{'A', 'C', 'G', 'T'} {
+		next, _ := g.coder.Next(fwd, b)
+		if g.has(next) {
+			out = append(out, next)
+		}
+	}
+	return out
+}
+
+// predecessors returns the backward extensions of the oriented k-mer.
+func (g *Graph) predecessors(fwd seq.Kmer) []seq.Kmer {
+	var out []seq.Kmer
+	for _, b := range [4]byte{'A', 'C', 'G', 'T'} {
+		prev, _ := g.coder.Prev(fwd, b)
+		if g.has(prev) {
+			out = append(out, prev)
+		}
+	}
+	return out
+}
+
+// Unitig is one maximal non-branching path.
+type Unitig struct {
+	Seq          []byte
+	MeanCoverage float64
+	Kmers        int
+}
+
+// Unitigs extracts every maximal non-branching path at least minLen
+// bases long, in deterministic order.
+func (g *Graph) Unitigs(minLen int) []Unitig {
+	visited := make(map[seq.Kmer]bool, len(g.nodes))
+	// Deterministic iteration: sort the canonical k-mers.
+	order := make([]seq.Kmer, 0, len(g.nodes))
+	for km := range g.nodes {
+		order = append(order, km)
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].Less(order[b]) })
+
+	var out []Unitig
+	for _, start := range order {
+		if visited[start] {
+			continue
+		}
+		u := g.walk(start, visited)
+		if len(u.Seq) >= minLen {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// walk extends from start (canonical) in both directions while the
+// path is non-branching, marking visited canonical k-mers.
+func (g *Graph) walk(start seq.Kmer, visited map[seq.Kmer]bool) Unitig {
+	visited[start] = true
+	chain := []seq.Kmer{start} // oriented k-mers along the walk
+	var covSum float64 = float64(g.nodes[start])
+
+	// Extend right from the start orientation.
+	cur := start
+	for {
+		succ := g.successors(cur)
+		if len(succ) != 1 {
+			break
+		}
+		next := succ[0]
+		canon, _ := g.coder.Canonical(next)
+		if visited[canon] {
+			break
+		}
+		if len(g.predecessors(next)) != 1 {
+			break
+		}
+		visited[canon] = true
+		covSum += float64(g.nodes[canon])
+		chain = append(chain, next)
+		cur = next
+	}
+	// Extend left from the start orientation.
+	cur = start
+	var left []seq.Kmer
+	for {
+		pred := g.predecessors(cur)
+		if len(pred) != 1 {
+			break
+		}
+		prev := pred[0]
+		canon, _ := g.coder.Canonical(prev)
+		if visited[canon] {
+			break
+		}
+		if len(g.successors(prev)) != 1 {
+			break
+		}
+		visited[canon] = true
+		covSum += float64(g.nodes[canon])
+		left = append(left, prev)
+		cur = prev
+	}
+	// Assemble sequence: leftmost k-mer fully, then one 3' base per step.
+	full := make([]seq.Kmer, 0, len(left)+len(chain))
+	for i := len(left) - 1; i >= 0; i-- {
+		full = append(full, left[i])
+	}
+	full = append(full, chain...)
+	sq := g.coder.Decode(full[0])
+	for _, km := range full[1:] {
+		sq = append(sq, seq.BaseByte(g.coder.BaseAt(km, g.coder.K-1)))
+	}
+	return Unitig{Seq: sq, MeanCoverage: covSum / float64(len(full)), Kmers: len(full)}
+}
+
+// ClipTips removes dead-end chains of at most maxKmers k-mers that
+// terminate at a branch — the classic error-tip clean-up. It returns
+// the number of k-mers removed and iterates to a fixed point (bounded
+// by rounds).
+func (g *Graph) ClipTips(maxKmers, rounds int) int {
+	removedTotal := 0
+	for r := 0; r < rounds; r++ {
+		removed := g.clipOnce(maxKmers)
+		removedTotal += removed
+		if removed == 0 {
+			break
+		}
+	}
+	return removedTotal
+}
+
+func (g *Graph) clipOnce(maxKmers int) int {
+	order := make([]seq.Kmer, 0, len(g.nodes))
+	for km := range g.nodes {
+		order = append(order, km)
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].Less(order[b]) })
+	var doomed []seq.Kmer
+	for _, km := range order {
+		if _, ok := g.nodes[km]; !ok {
+			continue
+		}
+		// A tip starts at a k-mer with no predecessors (in some
+		// orientation) and runs through a short unary chain.
+		for _, fwd := range []seq.Kmer{km, g.coder.ReverseComplement(km)} {
+			if len(g.predecessors(fwd)) != 0 {
+				continue
+			}
+			chain := []seq.Kmer{fwd}
+			cur := fwd
+			isTip := false
+			for len(chain) <= maxKmers {
+				succ := g.successors(cur)
+				if len(succ) == 0 {
+					// Isolated short chain: drop it too.
+					isTip = true
+					break
+				}
+				if len(succ) > 1 {
+					isTip = true
+					break
+				}
+				next := succ[0]
+				if len(g.predecessors(next)) > 1 {
+					// The chain merges into a through-path: tip ends here.
+					isTip = true
+					break
+				}
+				chain = append(chain, next)
+				cur = next
+			}
+			if isTip && len(chain) <= maxKmers {
+				for _, c := range chain {
+					canon, _ := g.coder.Canonical(c)
+					doomed = append(doomed, canon)
+				}
+			}
+			break // only consider each node once per round
+		}
+	}
+	removed := 0
+	for _, km := range doomed {
+		if _, ok := g.nodes[km]; ok {
+			delete(g.nodes, km)
+			removed++
+		}
+	}
+	return removed
+}
+
+// PopBubbles removes the lower-coverage arm of simple two-arm bubbles
+// (divergence at one branch node, reconvergence within maxArm k-mers).
+// It returns the number of k-mers removed.
+func (g *Graph) PopBubbles(maxArm int) int {
+	order := make([]seq.Kmer, 0, len(g.nodes))
+	for km := range g.nodes {
+		order = append(order, km)
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].Less(order[b]) })
+	removed := 0
+	for _, km := range order {
+		if _, ok := g.nodes[km]; !ok {
+			continue
+		}
+		for _, fwd := range []seq.Kmer{km, g.coder.ReverseComplement(km)} {
+			succ := g.successors(fwd)
+			if len(succ) != 2 {
+				continue
+			}
+			pathA, endA, okA := g.unaryPath(succ[0], maxArm)
+			pathB, endB, okB := g.unaryPath(succ[1], maxArm)
+			if !okA || !okB {
+				continue
+			}
+			ca, _ := g.coder.Canonical(endA)
+			cb, _ := g.coder.Canonical(endB)
+			if ca != cb {
+				continue
+			}
+			// Same reconvergence point: drop the lower-coverage arm.
+			drop := pathA
+			if g.pathCoverage(pathB) < g.pathCoverage(pathA) {
+				drop = pathB
+			}
+			for _, p := range drop {
+				canon, _ := g.coder.Canonical(p)
+				if _, ok := g.nodes[canon]; ok {
+					delete(g.nodes, canon)
+					removed++
+				}
+			}
+		}
+	}
+	return removed
+}
+
+// unaryPath follows a strictly unary chain from fwd for at most max
+// k-mers, returning the interior path and the node where it ends
+// (first node with degree ≠ 1 in either direction).
+func (g *Graph) unaryPath(fwd seq.Kmer, max int) (path []seq.Kmer, end seq.Kmer, ok bool) {
+	cur := fwd
+	for steps := 0; steps < max; steps++ {
+		succ := g.successors(cur)
+		preds := g.predecessors(cur)
+		if len(succ) != 1 || len(preds) > 1 {
+			return path, cur, true
+		}
+		path = append(path, cur)
+		cur = succ[0]
+	}
+	return nil, cur, false
+}
+
+// pathCoverage sums coverage along a path.
+func (g *Graph) pathCoverage(path []seq.Kmer) float64 {
+	var s float64
+	for _, p := range path {
+		canon, _ := g.coder.Canonical(p)
+		s += float64(g.nodes[canon])
+	}
+	return s
+}
+
+// Contigs runs the standard simplification pipeline and renders
+// unitigs as FASTA records, longest first.
+func (g *Graph) Contigs(prefix string, minLen int) []seq.FastaRecord {
+	g.ClipTips(g.coder.K, 3)
+	g.PopBubbles(2*g.coder.K + 10)
+	return RecordsFromUnitigs(prefix, g.Unitigs(minLen))
+}
+
+// RecordsFromUnitigs renders unitigs as FASTA records, longest first,
+// with the standard "<prefix>_contigNNNNN len=L cov=C" IDs.
+func RecordsFromUnitigs(prefix string, unitigs []Unitig) []seq.FastaRecord {
+	sort.SliceStable(unitigs, func(a, b int) bool { return len(unitigs[a].Seq) > len(unitigs[b].Seq) })
+	out := make([]seq.FastaRecord, len(unitigs))
+	for i, u := range unitigs {
+		out[i] = seq.FastaRecord{
+			ID:  fmt.Sprintf("%s_contig%05d len=%d cov=%.1f", prefix, i, len(u.Seq), u.MeanCoverage),
+			Seq: u.Seq,
+		}
+	}
+	return out
+}
+
+// N50 reports the standard assembly contiguity statistic over contig
+// lengths: the length L such that contigs of length ≥ L cover half
+// the total assembly.
+func N50(contigs []seq.FastaRecord) int {
+	if len(contigs) == 0 {
+		return 0
+	}
+	lens := make([]int, len(contigs))
+	total := 0
+	for i, c := range contigs {
+		lens[i] = len(c.Seq)
+		total += len(c.Seq)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lens)))
+	acc := 0
+	for _, l := range lens {
+		acc += l
+		if acc*2 >= total {
+			return l
+		}
+	}
+	return lens[len(lens)-1]
+}

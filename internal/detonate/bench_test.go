@@ -1,0 +1,25 @@
+package detonate
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnascale/internal/seq"
+)
+
+func BenchmarkEvaluate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var refSet, asm []seq.FastaRecord
+	for i := 0; i < 40; i++ {
+		tx := randSeq(rng, 600)
+		refSet = append(refSet, seq.FastaRecord{ID: "tx", Seq: tx})
+		asm = append(asm, seq.FastaRecord{ID: "c", Seq: tx[20:580]})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(asm, refSet, nil, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package detonate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rnascale/internal/seq"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	bases := "ACGT"
+	for i := range b {
+		b[i] = bases[rng.Intn(4)]
+	}
+	return b
+}
+
+func refs(seqs ...[]byte) []seq.FastaRecord {
+	out := make([]seq.FastaRecord, len(seqs))
+	for i, s := range seqs {
+		out[i] = seq.FastaRecord{ID: "tx", Seq: s}
+	}
+	return out
+}
+
+func TestPerfectAssemblyScoresOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tx := randSeq(rng, 400)
+	m, err := Evaluate(refs(tx), refs(tx), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 || m.WeightedKmerRecall != 1 {
+		t.Errorf("perfect assembly: %+v", m)
+	}
+	if m.KCScore != 1 { // no read-bases penalty configured
+		t.Errorf("kc %v", m.KCScore)
+	}
+}
+
+func TestReverseStrandAssemblyStillPerfect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tx := randSeq(rng, 400)
+	m, err := Evaluate(refs(seq.ReverseComplement(tx)), refs(tx), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision < 0.999 || m.Recall < 0.999 {
+		t.Errorf("strand flip hurt scores: %+v", m)
+	}
+}
+
+func TestHalfAssemblyRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tx := randSeq(rng, 400)
+	m, err := Evaluate(refs(tx[:200]), refs(tx), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision < 0.999 {
+		t.Errorf("half assembly precision %v", m.Precision)
+	}
+	if m.Recall < 0.45 || m.Recall > 0.55 {
+		t.Errorf("half assembly recall %v, want ≈0.5", m.Recall)
+	}
+	if m.F1 <= m.Recall || m.F1 >= m.Precision {
+		t.Errorf("F1 %v outside (recall, precision)", m.F1)
+	}
+}
+
+func TestGarbageContigsHurtPrecisionOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tx := randSeq(rng, 300)
+	junk := randSeq(rng, 300)
+	m, err := Evaluate(refs(tx, junk), refs(tx), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Recall < 0.999 {
+		t.Errorf("recall %v", m.Recall)
+	}
+	if m.Precision > 0.6 {
+		t.Errorf("precision %v with half-junk assembly", m.Precision)
+	}
+}
+
+func TestWeightedRecallFavorsAbundantTranscripts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	strong := randSeq(rng, 300)
+	weak := randSeq(rng, 300)
+	// Assembly recovers only the strong transcript.
+	expr := []float64{10, 0.1}
+	m, err := Evaluate(refs(strong), refs(strong, weak), expr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WeightedKmerRecall < 0.95 {
+		t.Errorf("weighted recall %v should be near 1 when the abundant transcript is recovered", m.WeightedKmerRecall)
+	}
+	if m.Recall > 0.6 {
+		t.Errorf("unweighted recall %v should be near 0.5", m.Recall)
+	}
+	// Conversely, recovering only the weak transcript scores poorly.
+	m2, _ := Evaluate(refs(weak), refs(strong, weak), expr, DefaultOptions())
+	if m2.WeightedKmerRecall > 0.1 {
+		t.Errorf("weighted recall %v should be near 0 when only the rare transcript is recovered", m2.WeightedKmerRecall)
+	}
+}
+
+func TestKCPenalty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tx := randSeq(rng, 400)
+	opts := DefaultOptions()
+	opts.ReadBases = 10_000
+	m, err := Evaluate(refs(tx), refs(tx), nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.KCScore >= m.WeightedKmerRecall {
+		t.Errorf("kc %v not below weighted recall %v", m.KCScore, m.WeightedKmerRecall)
+	}
+	// A bloated assembly (same content duplicated with junk) pays a
+	// larger penalty.
+	bloat, err := Evaluate(refs(tx, randSeq(rng, 2000)), refs(tx), nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bloat.KCScore >= m.KCScore {
+		t.Errorf("bloated kc %v not below compact kc %v", bloat.KCScore, m.KCScore)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tx := randSeq(rng, 100)
+	if _, err := Evaluate(refs(tx), nil, nil, DefaultOptions()); err == nil {
+		t.Error("no references accepted")
+	}
+	if _, err := Evaluate(refs(tx), refs(tx), []float64{1, 2}, DefaultOptions()); err == nil {
+		t.Error("mismatched expression accepted")
+	}
+	if _, err := Evaluate(refs(tx), refs(tx), nil, Options{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestEmptyAssembly(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tx := randSeq(rng, 100)
+	m, err := Evaluate(nil, refs(tx), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Errorf("empty assembly: %+v", m)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{Precision: 0.84, Recall: 0.26, F1: 0.40, WeightedKmerRecall: 0.86, KCScore: 0.86}
+	s := m.String()
+	if !strings.Contains(s, "P=0.84") || !strings.Contains(s, "kc=0.86") {
+		t.Errorf("string %q", s)
+	}
+}

@@ -1,0 +1,78 @@
+package detonate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rnascale/internal/seq"
+)
+
+// Property: every metric stays in [0,1] (kc may go below 0 only when
+// a penalty is configured; without ReadBases it equals weighted
+// recall) and F1 lies between min and max of precision/recall.
+func TestMetricBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(nRefRaw, nAsmRaw uint8) bool {
+		nRef := int(nRefRaw)%4 + 1
+		nAsm := int(nAsmRaw) % 4
+		var refSet, asmSet []seq.FastaRecord
+		for i := 0; i < nRef; i++ {
+			refSet = append(refSet, seq.FastaRecord{ID: "r", Seq: randSeq(rng, 80+rng.Intn(200))})
+		}
+		for i := 0; i < nAsm; i++ {
+			// Half the contigs are real fragments, half junk.
+			if i%2 == 0 {
+				src := refSet[rng.Intn(nRef)].Seq
+				a := rng.Intn(len(src) / 2)
+				asmSet = append(asmSet, seq.FastaRecord{ID: "c", Seq: src[a : a+len(src)/2]})
+			} else {
+				asmSet = append(asmSet, seq.FastaRecord{ID: "c", Seq: randSeq(rng, 100)})
+			}
+		}
+		m, err := Evaluate(asmSet, refSet, nil, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		in01 := func(x float64) bool { return x >= 0 && x <= 1.0000001 }
+		if !in01(m.Precision) || !in01(m.Recall) || !in01(m.F1) || !in01(m.WeightedKmerRecall) {
+			return false
+		}
+		lo, hi := m.Recall, m.Precision
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if m.F1 > 0 && (m.F1 < lo-1e-9 || m.F1 > hi+1e-9) {
+			return false
+		}
+		return m.KCScore <= m.WeightedKmerRecall+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding contigs never decreases recall.
+func TestRecallMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed uint8) bool {
+		ref := []seq.FastaRecord{
+			{ID: "a", Seq: randSeq(rng, 300)},
+			{ID: "b", Seq: randSeq(rng, 300)},
+		}
+		c1 := seq.FastaRecord{ID: "c1", Seq: ref[0].Seq[:150]}
+		c2 := seq.FastaRecord{ID: "c2", Seq: ref[1].Seq[50:250]}
+		m1, err := Evaluate([]seq.FastaRecord{c1}, ref, nil, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		m2, err := Evaluate([]seq.FastaRecord{c1, c2}, ref, nil, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		return m2.Recall >= m1.Recall-1e-12 && m2.WeightedKmerRecall >= m1.WeightedKmerRecall-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

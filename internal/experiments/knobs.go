@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"rnascale/internal/assembler"
+	"rnascale/internal/assembler/contrail"
+	"rnascale/internal/assembler/ray"
+	"rnascale/internal/mpi"
+	"rnascale/internal/vclock"
+)
+
+// newContrailWithSetup builds a Contrail instance with an overridden
+// per-job overhead, for the Hadoop-tax ablation.
+func newContrailWithSetup(setupSeconds float64) assembler.Assembler {
+	return &contrail.Contrail{JobSetup: setupSeconds}
+}
+
+// newRayWithNetwork builds a Ray instance whose MPI inter-node link
+// has the given bandwidth (bytes/s), for the network ablation.
+func newRayWithNetwork(bandwidth float64) assembler.Assembler {
+	prof := ray.DefaultProfile()
+	cfg := mpi.DefaultConfig(1)
+	cfg.Inter = vclock.CommCost{Latency: cfg.Inter.Latency, Bandwidth: bandwidth}
+	prof.Network = &cfg
+	return &ray.Ray{Profile: &prof}
+}

@@ -1,0 +1,389 @@
+// Package gateway implements the web service front-end the paper
+// plans for the pipeline: "the pipeline will be soon available to the
+// research community via the science gateway project". It exposes a
+// small JSON HTTP API in the style of the DARE science-gateway
+// middleware the authors cite:
+//
+//	GET  /api/profiles          list dataset profiles
+//	GET  /api/assemblers        list integrated assemblers
+//	POST /api/runs              submit a pipeline run
+//	GET  /api/runs              list runs and statuses
+//	GET  /api/runs/{id}         one run's report
+//	GET  /api/runs/{id}/transcripts   assembled transcripts (FASTA)
+//
+// Submitted runs execute asynchronously with a bounded worker pool;
+// each run gets its own simulated cloud, so concurrent users cannot
+// interfere.
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"rnascale/internal/assembler"
+	_ "rnascale/internal/assembler/all" // make every assembler submittable
+	"rnascale/internal/core"
+	"rnascale/internal/seq"
+	"rnascale/internal/simdata"
+)
+
+// RunRequest is the submission payload.
+type RunRequest struct {
+	// Profile is a built-in dataset profile name.
+	Profile string `json:"profile"`
+	// Assemblers lists the tools (default ["ray"]); >1 enables MAMP.
+	Assemblers []string `json:"assemblers"`
+	// Scheme is "S1" or "S2" (default S2).
+	Scheme string `json:"scheme"`
+	// Pattern is "conventional", "static" or "dynamic" (default
+	// dynamic).
+	Pattern string `json:"pattern"`
+	// InstanceType fixes the flavour for static patterns.
+	InstanceType string `json:"instanceType"`
+	// ContrailNodes overrides the per-Contrail-job node count.
+	ContrailNodes int `json:"contrailNodes"`
+	// Evaluate scores the result against the synthetic ground truth.
+	Evaluate bool `json:"evaluate"`
+}
+
+// RunStatus is the externally visible run state.
+type RunStatus string
+
+// Run states.
+const (
+	StatusQueued  RunStatus = "queued"
+	StatusRunning RunStatus = "running"
+	StatusDone    RunStatus = "done"
+	StatusFailed  RunStatus = "failed"
+)
+
+// RunView is the JSON representation of a run.
+type RunView struct {
+	ID      string     `json:"id"`
+	Status  RunStatus  `json:"status"`
+	Request RunRequest `json:"request"`
+	Error   string     `json:"error,omitempty"`
+	// Summary fields, present once done.
+	TTCSeconds  float64            `json:"ttcSeconds,omitempty"`
+	CostUSD     float64            `json:"costUSD,omitempty"`
+	Stages      map[string]string  `json:"stages,omitempty"`
+	Transcripts int                `json:"transcripts,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// run is the internal record.
+type run struct {
+	view   RunView
+	report *core.Report
+}
+
+// Server is the gateway. Create with NewServer and mount via Handler.
+type Server struct {
+	mu      sync.Mutex
+	runs    map[string]*run
+	order   []string
+	nextID  int
+	workers chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewServer returns a gateway executing at most maxConcurrent runs at
+// once (minimum 1).
+func NewServer(maxConcurrent int) *Server {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &Server{
+		runs:    map[string]*run{},
+		workers: make(chan struct{}, maxConcurrent),
+	}
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/profiles", s.handleProfiles)
+	mux.HandleFunc("/api/assemblers", s.handleAssemblers)
+	mux.HandleFunc("/api/plans", s.handlePlan)
+	mux.HandleFunc("/api/runs", s.handleRuns)
+	mux.HandleFunc("/api/runs/", s.handleRun)
+	return mux
+}
+
+// Wait blocks until every submitted run has finished (used by tests
+// and graceful shutdown).
+func (s *Server) Wait() { s.wg.Wait() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type profileView struct {
+		Name     string `json:"name"`
+		Organism string `json:"organism"`
+		Reads    int64  `json:"fullScaleReads"`
+		Paired   bool   `json:"paired"`
+	}
+	var out []profileView
+	for _, p := range simdata.Profiles() {
+		out = append(out, profileView{Name: p.Name, Organism: p.Organism,
+			Reads: p.FullScale.Reads, Paired: p.FullScale.Paired})
+	}
+	tiny := simdata.Tiny()
+	out = append(out, profileView{Name: tiny.Name, Organism: tiny.Organism,
+		Reads: tiny.FullScale.Reads, Paired: tiny.FullScale.Paired})
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleAssemblers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type toolView struct {
+		Name        string `json:"name"`
+		GraphType   string `json:"graphType"`
+		Distributed string `json:"distributed,omitempty"`
+		Version     string `json:"version"`
+	}
+	var out []toolView
+	for _, a := range assembler.List() {
+		info := a.Info()
+		out = append(out, toolView{Name: info.Name, GraphType: info.GraphType,
+			Distributed: info.Distributed, Version: info.Version})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		out := make([]RunView, 0, len(s.order))
+		for _, id := range s.order {
+			out = append(out, s.runs[id].view)
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		view, err := s.submit(req)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, view)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST")
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/api/runs/")
+	parts := strings.Split(rest, "/")
+	s.mu.Lock()
+	rn, ok := s.runs[parts[0]]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no run %q", parts[0])
+		return
+	}
+	if len(parts) == 1 {
+		s.mu.Lock()
+		view := rn.view
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	if len(parts) == 2 && parts[1] == "transcripts" {
+		s.mu.Lock()
+		rep := rn.report
+		status := rn.view.Status
+		s.mu.Unlock()
+		if status != StatusDone || rep == nil {
+			writeErr(w, http.StatusConflict, "run %s is %s", parts[0], status)
+			return
+		}
+		w.Header().Set("Content-Type", "text/x-fasta")
+		_ = seq.WriteFasta(w, rep.Transcripts, 80)
+		return
+	}
+	writeErr(w, http.StatusNotFound, "unknown resource")
+}
+
+// handlePlan predicts a run's stage TTCs and cost without executing
+// it — what a gateway UI shows the user before they commit budget.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	cfg, ds, err := buildConfig(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	plan, err := core.Predict(ds, cfg)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ttcSeconds":      plan.TTC.Seconds(),
+		"costUSD":         plan.CostUSD,
+		"assemblyNodes":   plan.AssemblyNodes,
+		"instanceType":    plan.InstanceType,
+		"transferSeconds": plan.Transfer.Seconds(),
+		"paSeconds":       plan.PA.Seconds(),
+		"pbSeconds":       plan.PB.Seconds(),
+		"pcSeconds":       plan.PC.Seconds(),
+	})
+}
+
+// submit validates and enqueues a run.
+func (s *Server) submit(req RunRequest) (RunView, error) {
+	cfg, ds, err := buildConfig(req)
+	if err != nil {
+		return RunView{}, err
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("run-%05d", s.nextID)
+	view := RunView{ID: id, Status: StatusQueued, Request: req}
+	rn := &run{view: view}
+	s.runs[id] = rn
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.workers <- struct{}{}
+		defer func() { <-s.workers }()
+		s.setStatus(id, StatusRunning, nil, "")
+		rep, err := core.Run(ds, cfg)
+		if err != nil {
+			s.setStatus(id, StatusFailed, rep, err.Error())
+			return
+		}
+		s.setStatus(id, StatusDone, rep, "")
+	}()
+	// Return the pre-spawn snapshot: the worker may already be
+	// mutating rn.view under the lock.
+	return view, nil
+}
+
+// setStatus updates a run's view under the lock.
+func (s *Server) setStatus(id string, status RunStatus, rep *core.Report, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rn := s.runs[id]
+	rn.view.Status = status
+	rn.view.Error = errMsg
+	rn.report = rep
+	if rep != nil {
+		rn.view.TTCSeconds = rep.TTC.Seconds()
+		rn.view.CostUSD = rep.CostUSD
+		rn.view.Transcripts = len(rep.Transcripts)
+		rn.view.Stages = map[string]string{}
+		for _, st := range rep.Stages {
+			rn.view.Stages[st.Name] = st.Duration().String()
+		}
+		if rep.Metrics != nil {
+			rn.view.Metrics = map[string]float64{
+				"precision":          rep.Metrics.Precision,
+				"recall":             rep.Metrics.Recall,
+				"f1":                 rep.Metrics.F1,
+				"weightedKmerRecall": rep.Metrics.WeightedKmerRecall,
+				"kcScore":            rep.Metrics.KCScore,
+			}
+		}
+	}
+}
+
+// buildConfig translates a request into a pipeline configuration and
+// dataset.
+func buildConfig(req RunRequest) (core.Config, *simdata.Dataset, error) {
+	name := req.Profile
+	if name == "" {
+		name = "tiny"
+	}
+	var prof simdata.Profile
+	if name == "tiny" {
+		prof = simdata.Tiny()
+	} else {
+		p, ok := simdata.Profiles()[name]
+		if !ok {
+			return core.Config{}, nil, fmt.Errorf("gateway: unknown profile %q", name)
+		}
+		prof = p
+	}
+	ds, err := simdata.Generate(prof)
+	if err != nil {
+		return core.Config{}, nil, err
+	}
+	cfg := core.DefaultConfig()
+	if len(req.Assemblers) > 0 {
+		cfg.Assemblers = req.Assemblers
+	}
+	for _, a := range cfg.Assemblers {
+		if _, err := assembler.Get(a); err != nil {
+			return core.Config{}, nil, err
+		}
+	}
+	switch strings.ToUpper(req.Scheme) {
+	case "", "S2":
+		cfg.Scheme = core.S2
+	case "S1":
+		cfg.Scheme = core.S1
+	default:
+		return core.Config{}, nil, fmt.Errorf("gateway: unknown scheme %q", req.Scheme)
+	}
+	switch strings.ToLower(req.Pattern) {
+	case "", "dynamic":
+		cfg.Pattern = core.DistributedDynamic
+	case "static":
+		cfg.Pattern = core.DistributedStatic
+	case "conventional":
+		cfg.Pattern = core.Conventional
+	default:
+		return core.Config{}, nil, fmt.Errorf("gateway: unknown pattern %q", req.Pattern)
+	}
+	if req.InstanceType != "" {
+		cfg.InstanceType = req.InstanceType
+	}
+	if req.ContrailNodes > 0 {
+		cfg.ContrailNodes = req.ContrailNodes
+	}
+	cfg.EvaluateAgainstTruth = req.Evaluate
+	return cfg, ds, nil
+}

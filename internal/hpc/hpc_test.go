@@ -1,0 +1,102 @@
+package hpc
+
+import (
+	"testing"
+
+	"rnascale/internal/cloud"
+	"rnascale/internal/cluster"
+	"rnascale/internal/pilot"
+	"rnascale/internal/vclock"
+)
+
+func TestAllocationCapAndZeroCost(t *testing.T) {
+	clock := vclock.NewClock(0)
+	p := NewProvider(clock, Config{Nodes: 4, QueueWait: 100})
+	vms, err := p.RunInstances("hpc.node", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunInstances("hpc.node", 1); err == nil {
+		t.Error("allocation cap not enforced")
+	}
+	p.WaitRunning(vms)
+	if clock.Now() != 100 {
+		t.Errorf("queue wait not modelled: %v", clock.Now())
+	}
+	clock.Advance(10 * vclock.Hour)
+	p.TerminateAll()
+	if cost := p.TotalCost(); cost != 0 {
+		t.Errorf("HPC allocation billed $%.2f", cost)
+	}
+}
+
+func TestNoCloudFlavours(t *testing.T) {
+	p := NewProvider(vclock.NewClock(0), DefaultConfig())
+	if _, err := p.LookupType("c3.2xlarge"); err == nil {
+		t.Error("EC2 flavour available on the HPC resource")
+	}
+	it, err := p.LookupType("hpc.node")
+	if err != nil || it.Cores != 16 {
+		t.Errorf("hpc.node: %+v %v", it, err)
+	}
+}
+
+func TestDefaultsBackfill(t *testing.T) {
+	p := NewProvider(vclock.NewClock(0), Config{})
+	if _, err := p.RunInstances("hpc.node", DefaultConfig().Nodes); err != nil {
+		t.Errorf("default allocation rejected: %v", err)
+	}
+}
+
+// Scale-across: one unit manager schedules over pilots from two
+// different resources (HPC + cloud) sharing one virtual clock — the
+// paper's future-work execution mode, already supported by the pilot
+// framework's late binding.
+func TestScaleAcrossPilots(t *testing.T) {
+	clock := vclock.NewClock(0)
+	store := pilot.NewStateStore()
+
+	cloudProv := cloud.NewProvider(clock, cloud.DefaultOptions())
+	cloudPM := pilot.NewManager(cloudProv, store, cluster.DefaultOptions())
+	cp, err := cloudPM.SubmitPilot(pilot.PilotDescription{Name: "cloud", InstanceType: "c3.2xlarge", Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hpcProv := NewProvider(clock, Config{Nodes: 2, QueueWait: 60})
+	hpcPM := pilot.NewManager(hpcProv, store, cluster.DefaultOptions())
+	hp, err := hpcPM.SubmitPilot(pilot.PilotDescription{Name: "hpc", InstanceType: "hpc.node", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	um := pilot.NewUnitManager(store, clock, pilot.RoundRobin)
+	if err := um.AddPilots(cp, hp); err != nil {
+		t.Fatal(err)
+	}
+	work := func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
+		return pilot.WorkResult{Duration: 50}, nil
+	}
+	units, err := um.Submit([]pilot.UnitDescription{
+		{Name: "a", Slots: 8, Work: work},
+		{Name: "b", Slots: 16, Work: work},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := um.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if units[0].Pilot != cp || units[1].Pilot != hp {
+		t.Error("round-robin did not spread units across resources")
+	}
+	for _, u := range units {
+		if u.State() != pilot.UnitDone {
+			t.Errorf("%s: %s (%v)", u.ID, u.State(), u.Err)
+		}
+	}
+	// Only the cloud half costs money.
+	if hpcProv.TotalCost() != 0 || cloudProv.TotalCost() == 0 {
+		t.Errorf("costs: hpc $%.2f cloud $%.2f", hpcProv.TotalCost(), cloudProv.TotalCost())
+	}
+}

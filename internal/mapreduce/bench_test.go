@@ -1,0 +1,45 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+)
+
+func BenchmarkWordCount(b *testing.B) {
+	input := lines(strings.Repeat("alpha beta gamma delta ", 500))
+	cfg := DefaultConfig(4)
+	cfg.SplitBytes = 1 << 10
+	e, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(wordCount(), input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChain4Jobs(b *testing.B) {
+	identity := Job{
+		Name: "id",
+		Map:  func(kv KV, emit func(KV)) { emit(kv) },
+		Reduce: func(key string, values []string, emit func(KV)) {
+			for _, v := range values {
+				emit(KV{key, v})
+			}
+		},
+	}
+	input := lines(strings.Repeat("x ", 200))
+	e, _ := NewEngine(DefaultConfig(4))
+	jobs := []Job{identity, identity, identity, identity}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.RunChain(jobs, input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rnascale/internal/vclock"
+)
+
+// wordCount is the canonical test job.
+func wordCount() Job {
+	return Job{
+		Name: "wordcount",
+		Map: func(kv KV, emit func(KV)) {
+			for _, w := range strings.Fields(kv.Value) {
+				emit(KV{Key: w, Value: "1"})
+			}
+		},
+		Reduce: func(key string, values []string, emit func(KV)) {
+			sum := 0
+			for _, v := range values {
+				n, _ := strconv.Atoi(v)
+				sum += n
+			}
+			emit(KV{Key: key, Value: strconv.Itoa(sum)})
+		},
+	}
+}
+
+func lines(texts ...string) []KV {
+	kvs := make([]KV, len(texts))
+	for i, t := range texts {
+		kvs[i] = KV{Key: strconv.Itoa(i), Value: t}
+	}
+	return kvs
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Workers: 1},
+		{Workers: 1, SlotsPerWorker: 1},
+		{Workers: 1, SlotsPerWorker: 1, MapRate: 1, ReduceRate: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewEngine(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewEngine(DefaultConfig(2)); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestWordCountCorrectness(t *testing.T) {
+	e, _ := NewEngine(DefaultConfig(2))
+	res, err := e.Run(wordCount(), lines("a b a", "b c", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "3", "b": "2", "c": "1"}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output %v", res.Output)
+	}
+	for _, kv := range res.Output {
+		if want[kv.Key] != kv.Value {
+			t.Errorf("%s = %s, want %s", kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+	if res.Elapsed <= DefaultConfig(2).JobSetup {
+		t.Errorf("elapsed %v must exceed setup", res.Elapsed)
+	}
+}
+
+func TestOutputSortedAndDeterministicAcrossWorkerCounts(t *testing.T) {
+	input := lines("z y x", "x y", "w w w", "a z")
+	var first []KV
+	for _, workers := range []int{1, 2, 4, 16} {
+		e, _ := NewEngine(DefaultConfig(workers))
+		res, err := e.Run(wordCount(), input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(res.Output); i++ {
+			if res.Output[i-1].Key > res.Output[i].Key {
+				t.Fatalf("unsorted output at %d workers", workers)
+			}
+		}
+		if first == nil {
+			first = res.Output
+			continue
+		}
+		if fmt.Sprint(res.Output) != fmt.Sprint(first) {
+			t.Errorf("output differs at %d workers", workers)
+		}
+	}
+}
+
+func TestMissingFunctions(t *testing.T) {
+	e, _ := NewEngine(DefaultConfig(1))
+	if _, err := e.Run(Job{Name: "nil"}, nil); err == nil {
+		t.Error("nil map/reduce accepted")
+	}
+}
+
+func TestCombinerCutsShuffle(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.SplitBytes = 64 // force many splits
+	e, _ := NewEngine(cfg)
+	input := lines("a a a a a a", "a a a a", "a a a a a")
+	plain, err := e.Run(wordCount(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := wordCount()
+	combined.Combine = func(key string, values []string) []string {
+		sum := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(v)
+			sum += n
+		}
+		return []string{strconv.Itoa(sum)}
+	}
+	comb, err := e.Run(combined, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.ShuffleBytes >= plain.ShuffleBytes {
+		t.Errorf("combiner did not cut shuffle: %d vs %d", comb.ShuffleBytes, plain.ShuffleBytes)
+	}
+	if fmt.Sprint(comb.Output) != fmt.Sprint(plain.Output) {
+		t.Error("combiner changed the result")
+	}
+}
+
+func TestSplitInput(t *testing.T) {
+	input := lines("aaaa", "bbbb", "cccc", "dddd")
+	per := wireBytes(input[0])
+	splits := splitInput(input, per) // each record fills a split
+	if len(splits) != 4 {
+		t.Errorf("%d splits", len(splits))
+	}
+	splits = splitInput(input, 1<<40)
+	if len(splits) != 1 {
+		t.Errorf("giant split size: %d splits", len(splits))
+	}
+	splits = splitInput(nil, 100)
+	if len(splits) != 1 || len(splits[0]) != 0 {
+		t.Errorf("empty input splits: %v", splits)
+	}
+}
+
+func TestFewWorkersSerialize(t *testing.T) {
+	// 8 map tasks on 1 worker × 1 slot must take ~8× the per-task time.
+	cfg := Config{Workers: 1, SlotsPerWorker: 1, JobSetup: 0,
+		TaskOverhead: 10, MapRate: 1e9, ReduceRate: 1e9, SplitBytes: 18}
+	e, _ := NewEngine(cfg)
+	input := lines("a", "b", "c", "d", "e", "f", "g", "h")
+	res, err := e.Run(wordCount(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapTasks < 4 {
+		t.Fatalf("expected several map tasks, got %d", res.MapTasks)
+	}
+	serial := res.Elapsed
+
+	cfg.Workers = 16
+	e16, _ := NewEngine(cfg)
+	res16, err := e16.Run(wordCount(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(serial) < 3*float64(res16.Elapsed) {
+		t.Errorf("1 worker %v vs 16 workers %v: expected strong serialization", serial, res16.Elapsed)
+	}
+}
+
+func TestManyWorkersHitOverheadFloor(t *testing.T) {
+	// With abundant workers, elapsed approaches setup + 2 task overheads.
+	cfg := Config{Workers: 64, SlotsPerWorker: 2, JobSetup: 100,
+		TaskOverhead: 5, MapRate: 1e9, ReduceRate: 1e9, SplitBytes: 1 << 20}
+	e, _ := NewEngine(cfg)
+	res, err := e.Run(wordCount(), lines("a b c", "d e f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := cfg.JobSetup + 2*cfg.TaskOverhead
+	if res.Elapsed < floor || res.Elapsed > floor+1 {
+		t.Errorf("elapsed %v, want ≈ %v", res.Elapsed, floor)
+	}
+}
+
+func TestRunChainIterates(t *testing.T) {
+	// Each round appends one 'x' to every value; durations add up.
+	round := Job{
+		Name: "append",
+		Map:  func(kv KV, emit func(KV)) { emit(KV{kv.Key, kv.Value + "x"}) },
+		Reduce: func(key string, values []string, emit func(KV)) {
+			for _, v := range values {
+				emit(KV{key, v})
+			}
+		},
+	}
+	e, _ := NewEngine(DefaultConfig(2))
+	out, total, err := e.RunChain([]Job{round, round, round}, lines("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Value != "seedxxx" {
+		t.Errorf("chain output %v", out)
+	}
+	single, err := e.Run(round, lines("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 3*single.Elapsed-1 {
+		t.Errorf("chain %v vs 3×%v: per-round cost lost", total, single.Elapsed)
+	}
+	// Chain with a broken job surfaces the error.
+	if _, _, err := e.RunChain([]Job{{Name: "bad"}}, nil); err == nil {
+		t.Error("bad chain step accepted")
+	}
+}
+
+func TestReducerCountControlsPartitions(t *testing.T) {
+	job := wordCount()
+	job.NumReducers = 3
+	e, _ := NewEngine(DefaultConfig(8))
+	res, err := e.Run(job, lines("a b c d e f g h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReduceTasks != 3 {
+		t.Errorf("reduce tasks %d", res.ReduceTasks)
+	}
+}
+
+func TestElapsedScalesWithVolume(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.SplitBytes = 1 << 10
+	e, _ := NewEngine(cfg)
+	small, _ := e.Run(wordCount(), lines(strings.Repeat("word ", 100)))
+	big, _ := e.Run(wordCount(), lines(strings.Repeat("word ", 20000)))
+	if big.Elapsed <= small.Elapsed {
+		t.Errorf("big input %v not slower than small %v", big.Elapsed, small.Elapsed)
+	}
+	_ = vclock.Duration(0)
+}

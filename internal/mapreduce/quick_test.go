@@ -1,0 +1,115 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: job output is independent of cluster shape — workers,
+// slots, split size and reducer count affect time, never results.
+func TestOutputInvariantUnderClusterShape(t *testing.T) {
+	base := lines("the quick brown fox", "jumps over the lazy dog", "the the the")
+	ref := func() string {
+		e, _ := NewEngine(DefaultConfig(1))
+		res, err := e.Run(wordCount(), base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(res.Output)
+	}()
+	f := func(workersRaw, slotsRaw, splitRaw, redRaw uint8) bool {
+		cfg := DefaultConfig(int(workersRaw)%16 + 1)
+		cfg.SlotsPerWorker = int(slotsRaw)%4 + 1
+		cfg.SplitBytes = int64(splitRaw)%200 + 16
+		e, err := NewEngine(cfg)
+		if err != nil {
+			return false
+		}
+		job := wordCount()
+		job.NumReducers = int(redRaw)%8 + 1
+		res, err := e.Run(job, base)
+		if err != nil {
+			return false
+		}
+		return fmt.Sprint(res.Output) == ref
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: elapsed time is monotone non-increasing in worker count
+// for a fixed job (more machines never hurt in this model).
+func TestElapsedMonotoneInWorkers(t *testing.T) {
+	input := lines(strings.Repeat("alpha beta gamma ", 200))
+	f := func(wRaw uint8) bool {
+		w := int(wRaw)%8 + 1
+		cfg := DefaultConfig(w)
+		cfg.SplitBytes = 256
+		e, _ := NewEngine(cfg)
+		small, err := e.Run(wordCount(), input)
+		if err != nil {
+			return false
+		}
+		cfg2 := cfg
+		cfg2.Workers = w * 2
+		e2, _ := NewEngine(cfg2)
+		big, err := e2.Run(wordCount(), input)
+		if err != nil {
+			return false
+		}
+		return big.Elapsed <= small.Elapsed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a counting job conserves mass — the sum of word counts in
+// the output equals the number of words in the input, regardless of
+// combiner use.
+func TestCountConservationProperty(t *testing.T) {
+	f := func(wordsRaw []uint8) bool {
+		if len(wordsRaw) == 0 {
+			return true
+		}
+		var sb strings.Builder
+		for _, w := range wordsRaw {
+			fmt.Fprintf(&sb, "w%d ", w%7)
+		}
+		input := lines(sb.String())
+		for _, withCombiner := range []bool{false, true} {
+			job := wordCount()
+			if withCombiner {
+				job.Combine = func(key string, values []string) []string {
+					sum := 0
+					for _, v := range values {
+						n, _ := strconv.Atoi(v)
+						sum += n
+					}
+					return []string{strconv.Itoa(sum)}
+				}
+			}
+			e, _ := NewEngine(DefaultConfig(3))
+			res, err := e.Run(job, input)
+			if err != nil {
+				return false
+			}
+			total := 0
+			for _, kv := range res.Output {
+				n, _ := strconv.Atoi(kv.Value)
+				total += n
+			}
+			if total != len(wordsRaw) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnascale/internal/seq"
+)
+
+func benchSets(b *testing.B) [][]seq.FastaRecord {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	tx := make([]string, 30)
+	for i := range tx {
+		tx[i] = randSeq(rng, 400+rng.Intn(400))
+	}
+	// Three "assemblies": truncated/offset views of the transcripts.
+	sets := make([][]seq.FastaRecord, 3)
+	for s := range sets {
+		for _, t := range tx {
+			a := rng.Intn(40)
+			z := len(t) - rng.Intn(40)
+			sets[s] = append(sets[s], rec(t[a:z]))
+		}
+	}
+	return sets
+}
+
+func BenchmarkMergeMultiAssembler(b *testing.B) {
+	sets := benchSets(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _ := Merge(sets, DefaultOptions())
+		if len(out) == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+func BenchmarkConsensusMerge(b *testing.B) {
+	sets := benchSets(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := ConsensusMerge(sets, DefaultConsensusOptions())
+		if err != nil || len(out) == 0 {
+			b.Fatalf("%v %d", err, len(out))
+		}
+	}
+}

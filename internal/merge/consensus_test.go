@@ -1,0 +1,105 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnascale/internal/seq"
+)
+
+func TestConsensusDropsSingleToolArtifacts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shared := randSeq(rng, 400) // found by all three tools
+	artifact := randSeq(rng, 300)
+	setA := []seq.FastaRecord{rec(shared), rec(artifact)} // tool A hallucinates
+	setB := []seq.FastaRecord{rec(shared)}
+	setC := []seq.FastaRecord{rec(shared)}
+	out, st, err := ConsensusMerge([][]seq.FastaRecord{setA, setB, setC}, DefaultConsensusOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || string(out[0].Seq) != shared {
+		t.Fatalf("consensus kept %d contigs", len(out))
+	}
+	if st.Rejected != 1 {
+		t.Errorf("rejected %d, want the artifact", st.Rejected)
+	}
+	if st.Validated != 3 {
+		t.Errorf("validated %d", st.Validated)
+	}
+}
+
+func TestConsensusKeepsTwoToolAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pairwise := randSeq(rng, 350)
+	setA := []seq.FastaRecord{rec(pairwise)}
+	setB := []seq.FastaRecord{rec(pairwise)}
+	setC := []seq.FastaRecord{}
+	out, _, err := ConsensusMerge([][]seq.FastaRecord{setA, setB, setC}, DefaultConsensusOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("2-of-3 agreement dropped: %d contigs", len(out))
+	}
+}
+
+func TestConsensusStrandAware(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tx := randSeq(rng, 300)
+	rc := string(seq.ReverseComplement([]byte(tx)))
+	// Tools agree but report opposite strands.
+	out, st, err := ConsensusMerge([][]seq.FastaRecord{{rec(tx)}, {rec(rc)}}, DefaultConsensusOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != 0 {
+		t.Errorf("strand flip broke support voting: %d rejected", st.Rejected)
+	}
+	if len(out) != 1 {
+		t.Errorf("%d contigs", len(out))
+	}
+}
+
+func TestConsensusDegradesToPlainMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	only := []seq.FastaRecord{rec(randSeq(rng, 200))}
+	out, st, err := ConsensusMerge([][]seq.FastaRecord{only}, DefaultConsensusOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || st.Validated != 1 || st.Rejected != 0 {
+		t.Errorf("single-set degradation: %d contigs, %+v", len(out), st)
+	}
+}
+
+func TestConsensusValidation(t *testing.T) {
+	if _, _, err := ConsensusMerge(nil, ConsensusOptions{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// MinSupport 0 backfills to 1 (plain merge path).
+	opts := DefaultConsensusOptions()
+	opts.MinSupport = 0
+	if _, _, err := ConsensusMerge(nil, opts); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsensusPartialSupportThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shared := randSeq(rng, 300)
+	// A chimera: half shared sequence, half tool-private.
+	chimera := shared[:150] + randSeq(rng, 150)
+	setA := []seq.FastaRecord{rec(chimera)}
+	setB := []seq.FastaRecord{rec(shared)}
+	setC := []seq.FastaRecord{rec(shared)}
+	opts := DefaultConsensusOptions()
+	opts.MinSupportedFrac = 0.7
+	out, st, err := ConsensusMerge([][]seq.FastaRecord{setA, setB, setC}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != 1 {
+		t.Errorf("chimera not rejected (rejected=%d, out=%d)", st.Rejected, len(out))
+	}
+}

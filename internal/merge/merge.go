@@ -1,0 +1,223 @@
+// Package merge combines contig sets from multiple k-mer assemblies
+// (and, for the MAMP option, multiple assemblers) into one
+// non-redundant transcript set — the role VMATCH and Minimus2 play in
+// Rnnotator's post-processing ("assembled contigs from different
+// k-mer assemblies are then processed for identifying overlaps and
+// merged").
+//
+// Two passes run to a fixed point:
+//
+//   - containment removal: a contig equal to, or wholly contained in,
+//     another contig (either strand) is dropped (the VMATCH role);
+//   - overlap joining: contigs sharing a unique, exact suffix–prefix
+//     overlap of at least MinOverlap bases are spliced together (the
+//     Minimus2 role).
+package merge
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rnascale/internal/seq"
+)
+
+// Options tune the merger.
+type Options struct {
+	// MinOverlap is the minimum exact suffix–prefix overlap to join
+	// two contigs.
+	MinOverlap int
+	// MaxRounds bounds the join iterations.
+	MaxRounds int
+}
+
+// DefaultOptions mirror Minimus2-style defaults (40 bp overlap).
+func DefaultOptions() Options {
+	return Options{MinOverlap: 40, MaxRounds: 8}
+}
+
+// Stats reports what the merger did.
+type Stats struct {
+	Input       int
+	Contained   int
+	Joined      int
+	Output      int
+	InputBases  int64
+	OutputBases int64
+}
+
+// String renders a compact report.
+func (s Stats) String() string {
+	return fmt.Sprintf("merge: %d -> %d contigs (%d contained, %d joins, %d -> %d bases)",
+		s.Input, s.Output, s.Contained, s.Joined, s.InputBases, s.OutputBases)
+}
+
+// Merge combines the contig sets.
+func Merge(sets [][]seq.FastaRecord, opts Options) ([]seq.FastaRecord, Stats) {
+	if opts.MinOverlap <= 0 {
+		opts.MinOverlap = DefaultOptions().MinOverlap
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = DefaultOptions().MaxRounds
+	}
+	var pool []string
+	var st Stats
+	for _, set := range sets {
+		for _, c := range set {
+			pool = append(pool, string(c.Seq))
+			st.InputBases += int64(len(c.Seq))
+		}
+	}
+	st.Input = len(pool)
+
+	pool = dropContained(pool, &st)
+	for round := 0; round < opts.MaxRounds; round++ {
+		joined, n := joinOverlaps(pool, opts.MinOverlap)
+		st.Joined += n
+		pool = joined
+		if n == 0 {
+			break
+		}
+		pool = dropContained(pool, &st)
+	}
+
+	// Deterministic output: longest first, ties lexicographic.
+	sort.Slice(pool, func(a, b int) bool {
+		if len(pool[a]) != len(pool[b]) {
+			return len(pool[a]) > len(pool[b])
+		}
+		return pool[a] < pool[b]
+	})
+	out := make([]seq.FastaRecord, len(pool))
+	for i, s := range pool {
+		out[i] = seq.FastaRecord{
+			ID:  fmt.Sprintf("transcript%05d len=%d", i, len(s)),
+			Seq: []byte(s),
+		}
+		st.OutputBases += int64(len(s))
+	}
+	st.Output = len(out)
+	return out, st
+}
+
+// dropContained removes contigs contained in a longer (or equal,
+// later-sorted) contig on either strand.
+func dropContained(pool []string, st *Stats) []string {
+	// Sort longest first so containment checks only look at longer
+	// predecessors.
+	sort.Slice(pool, func(a, b int) bool {
+		if len(pool[a]) != len(pool[b]) {
+			return len(pool[a]) > len(pool[b])
+		}
+		return pool[a] < pool[b]
+	})
+	var kept []string
+	for _, c := range pool {
+		rc := string(seq.ReverseComplement([]byte(c)))
+		contained := false
+		for _, k := range kept {
+			if len(k) < len(c) {
+				break // kept is sorted; nothing shorter can contain c
+			}
+			if strings.Contains(k, c) || strings.Contains(k, rc) {
+				contained = true
+				break
+			}
+		}
+		if contained {
+			st.Contained++
+			continue
+		}
+		kept = append(kept, c)
+		// Keep kept sorted by length descending (insertion point is
+		// always the end because pool is sorted).
+	}
+	return kept
+}
+
+// joinOverlaps splices contig pairs sharing a unique exact
+// suffix–prefix overlap of at least minOv bases, considering both
+// orientations of the partner. The longest overlap wins; ambiguous
+// overlaps (two possible partners at the same length) leave the
+// contig untouched, as Minimus2 does at repeat boundaries. Returns
+// the new pool and the number of joins performed.
+func joinOverlaps(pool []string, minOv int) ([]string, int) {
+	type anchor struct {
+		idx int
+		rc  bool
+	}
+	// Index every contig's first minOv bases, forward and RC.
+	prefix := map[string][]anchor{}
+	rcs := make([]string, len(pool))
+	for i, c := range pool {
+		if len(c) < minOv {
+			continue
+		}
+		rcs[i] = string(seq.ReverseComplement([]byte(c)))
+		prefix[c[:minOv]] = append(prefix[c[:minOv]], anchor{i, false})
+		prefix[rcs[i][:minOv]] = append(prefix[rcs[i][:minOv]], anchor{i, true})
+	}
+	used := make([]bool, len(pool))
+	var out []string
+	joins := 0
+	for i, c := range pool {
+		if used[i] || len(c) < minOv {
+			continue
+		}
+		// Scan overlap start positions from longest overlap to the
+		// minimum; the anchor is the first minOv bases of the overlap.
+		var partner int = -1
+		var partnerSeq string
+		ambiguous := false
+		for p := 0; p+minOv <= len(c) && partner < 0 && !ambiguous; p++ {
+			ov := len(c) - p
+			for _, a := range prefix[c[p:p+minOv]] {
+				if a.idx == i || used[a.idx] {
+					continue
+				}
+				d := pool[a.idx]
+				if a.rc {
+					d = rcs[a.idx]
+				}
+				// Full overlap check: c's suffix from p must equal d's
+				// prefix, and d must extend past the overlap.
+				if len(d) <= ov || c[p:] != d[:ov] {
+					continue
+				}
+				if partner >= 0 {
+					ambiguous = true
+					break
+				}
+				partner = a.idx
+				partnerSeq = d
+			}
+		}
+		if partner < 0 || ambiguous {
+			continue
+		}
+		ov := 0
+		// Recompute the overlap length for the chosen partner (the
+		// scan guarantees c's suffix equals partnerSeq's prefix).
+		for p := 0; p+minOv <= len(c); p++ {
+			l := len(c) - p
+			if l < len(partnerSeq) && c[p:] == partnerSeq[:l] {
+				ov = l
+				break
+			}
+		}
+		if ov == 0 {
+			continue
+		}
+		merged := c + partnerSeq[ov:]
+		used[i] = true
+		used[partner] = true
+		out = append(out, merged)
+		joins++
+	}
+	for i, c := range pool {
+		if !used[i] {
+			out = append(out, c)
+		}
+	}
+	return out, joins
+}

@@ -1,0 +1,149 @@
+package merge
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rnascale/internal/seq"
+)
+
+func rec(s string) seq.FastaRecord { return seq.FastaRecord{ID: "c", Seq: []byte(s)} }
+
+func randSeq(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	bases := "ACGT"
+	for i := range b {
+		b[i] = bases[rng.Intn(4)]
+	}
+	return string(b)
+}
+
+func TestContainmentRemoval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	long := randSeq(rng, 300)
+	inner := long[50:200]
+	innerRC := string(seq.ReverseComplement([]byte(inner)))
+	out, st := Merge([][]seq.FastaRecord{
+		{rec(long)},
+		{rec(inner), rec(innerRC), rec(long)},
+	}, DefaultOptions())
+	if len(out) != 1 {
+		t.Fatalf("%d contigs out, want 1", len(out))
+	}
+	if string(out[0].Seq) != long {
+		t.Error("survivor is not the long contig")
+	}
+	if st.Contained != 3 {
+		t.Errorf("contained = %d, want 3 (duplicate + two substrings)", st.Contained)
+	}
+}
+
+func TestOverlapJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	genome := randSeq(rng, 400)
+	left := genome[:250]
+	right := genome[200:] // 50 bp overlap
+	out, st := Merge([][]seq.FastaRecord{{rec(left)}, {rec(right)}}, DefaultOptions())
+	if len(out) != 1 {
+		t.Fatalf("%d contigs, want 1 joined", len(out))
+	}
+	if got := string(out[0].Seq); got != genome {
+		t.Errorf("join produced %d bases, want the %d-base genome", len(got), len(genome))
+	}
+	if st.Joined != 1 {
+		t.Errorf("joins = %d", st.Joined)
+	}
+}
+
+func TestOverlapJoinReverseStrand(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	genome := randSeq(rng, 400)
+	left := genome[:250]
+	rightRC := string(seq.ReverseComplement([]byte(genome[200:])))
+	out, _ := Merge([][]seq.FastaRecord{{rec(left)}, {rec(rightRC)}}, DefaultOptions())
+	if len(out) != 1 {
+		t.Fatalf("%d contigs, want 1 (reverse-strand join)", len(out))
+	}
+	got := string(out[0].Seq)
+	gotRC := string(seq.ReverseComplement(out[0].Seq))
+	if got != genome && gotRC != genome {
+		t.Error("reverse-strand join does not reconstruct the genome")
+	}
+}
+
+func TestAmbiguousOverlapNotJoined(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	anchor := randSeq(rng, 40)
+	a := randSeq(rng, 100) + anchor
+	b := anchor + randSeq(rng, 100)
+	c := anchor + randSeq(rng, 100)
+	out, st := Merge([][]seq.FastaRecord{{rec(a), rec(b), rec(c)}}, DefaultOptions())
+	if st.Joined != 0 {
+		t.Errorf("ambiguous overlap joined (%d joins)", st.Joined)
+	}
+	if len(out) != 3 {
+		t.Errorf("%d contigs out", len(out))
+	}
+}
+
+func TestMultiKSetsCollapse(t *testing.T) {
+	// Simulates multi-k output: the same transcript assembled at two k
+	// values with different truncation.
+	rng := rand.New(rand.NewSource(5))
+	tx := randSeq(rng, 500)
+	k21 := tx[:480]
+	k25 := tx[10:]
+	out, _ := Merge([][]seq.FastaRecord{{rec(k21)}, {rec(k25)}}, DefaultOptions())
+	if len(out) != 1 {
+		t.Fatalf("%d contigs from overlapping multi-k output", len(out))
+	}
+	if !strings.Contains(string(out[0].Seq), tx[100:400]) {
+		t.Error("merged contig lost the transcript core")
+	}
+}
+
+func TestMergeDeterministicAndSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var set []seq.FastaRecord
+	for i := 0; i < 20; i++ {
+		set = append(set, rec(randSeq(rng, 60+rng.Intn(200))))
+	}
+	out1, _ := Merge([][]seq.FastaRecord{set}, DefaultOptions())
+	out2, _ := Merge([][]seq.FastaRecord{set}, DefaultOptions())
+	if len(out1) != len(out2) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range out1 {
+		if string(out1[i].Seq) != string(out2[i].Seq) {
+			t.Fatal("nondeterministic order")
+		}
+		if i > 0 && len(out1[i].Seq) > len(out1[i-1].Seq) {
+			t.Fatal("not length-sorted")
+		}
+	}
+}
+
+func TestEmptyAndShortInputs(t *testing.T) {
+	out, st := Merge(nil, DefaultOptions())
+	if len(out) != 0 || st.Input != 0 {
+		t.Error("empty merge")
+	}
+	// Contigs shorter than MinOverlap pass through.
+	out, _ = Merge([][]seq.FastaRecord{{rec("ACGTACGT")}}, DefaultOptions())
+	if len(out) != 1 {
+		t.Error("short contig lost")
+	}
+	// Zero options fall back to defaults.
+	out, _ = Merge([][]seq.FastaRecord{{rec("ACGTACGT")}}, Options{})
+	if len(out) != 1 {
+		t.Error("zero options broke merge")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	_, st := Merge([][]seq.FastaRecord{{rec("ACGTACGTACGT")}}, DefaultOptions())
+	if !strings.Contains(st.String(), "1 -> 1 contigs") {
+		t.Errorf("stats: %s", st.String())
+	}
+}

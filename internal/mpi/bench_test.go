@@ -1,0 +1,39 @@
+package mpi
+
+import "testing"
+
+func BenchmarkAlltoAll8Ranks(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(DefaultConfig(8), func(c *Comm) error {
+			payloads := make([]any, 8)
+			sizes := make([]int64, 8)
+			for d := range payloads {
+				payloads[d] = d
+				sizes[d] = 1024
+			}
+			for step := 0; step < 4; step++ {
+				c.AlltoAll(payloads, sizes)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllReduce32Ranks(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(DefaultConfig(32), func(c *Comm) error {
+			for step := 0; step < 8; step++ {
+				c.AllReduceInt(int64(c.Rank()), func(a, b int64) int64 { return a + b })
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rnascale/internal/vclock"
+)
+
+// Property: AllReduce with sum is invariant under world size for a
+// fixed multiset of contributions (distribute values over ranks).
+func TestAllReduceSumInvariantProperty(t *testing.T) {
+	f := func(vals []int8, sizeRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		size := int(sizeRaw)%8 + 1
+		var want int64
+		for _, v := range vals {
+			want += int64(v)
+		}
+		var got int64
+		_, err := Run(DefaultConfig(size), func(c *Comm) error {
+			var local int64
+			for i := c.Rank(); i < len(vals); i += c.Size() {
+				local += int64(vals[i])
+			}
+			sum := c.AllReduceInt(local, func(a, b int64) int64 { return a + b })
+			if c.Rank() == 0 {
+				got = sum
+			}
+			return nil
+		})
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AlltoAll is a permutation — the multiset of payloads is
+// preserved and addressed correctly for any world size.
+func TestAlltoAllPermutationProperty(t *testing.T) {
+	f := func(sizeRaw uint8) bool {
+		size := int(sizeRaw)%10 + 1
+		ok := true
+		_, err := Run(DefaultConfig(size), func(c *Comm) error {
+			out := make([]any, size)
+			bytes := make([]int64, size)
+			for d := range out {
+				out[d] = [2]int{c.Rank(), d}
+				bytes[d] = 8
+			}
+			in := c.AlltoAll(out, bytes)
+			for s, v := range in {
+				pair := v.([2]int)
+				if pair[0] != s || pair[1] != c.Rank() {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after a barrier, all rank clocks agree; elapsed time is
+// the max of pre-barrier clocks plus the (non-negative) barrier cost.
+func TestBarrierClockAgreementProperty(t *testing.T) {
+	f := func(delays []uint8, sizeRaw uint8) bool {
+		size := int(sizeRaw)%6 + 2
+		res, err := Run(DefaultConfig(size), func(c *Comm) error {
+			d := 0
+			if c.Rank() < len(delays) {
+				d = int(delays[c.Rank()])
+			}
+			c.Compute(vclock.Duration(d))
+			c.Barrier()
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		for _, d := range res.PerRank {
+			if d != res.PerRank[0] {
+				return false
+			}
+		}
+		var maxDelay uint8
+		for i, d := range delays {
+			if i >= size {
+				break
+			}
+			if d > maxDelay {
+				maxDelay = d
+			}
+		}
+		return res.Elapsed >= vclock.Duration(maxDelay)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package pilot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rnascale/internal/vclock"
+)
+
+// RenderTimeline draws the state-store event history as a text Gantt
+// chart: one swimlane per entity, scaled to the given width. Pilots
+// print before units; both keep first-seen order. It is the
+// observability view the paper gets from RADICAL-Pilot's database
+// ("all pilot jobs are controlled and monitored via the back-end
+// database system that updates run-time information on the fly").
+func RenderTimeline(events []Event, width int) string {
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	type lane struct {
+		id          string
+		kind        EntityKind
+		first, last vclock.Time
+		final       string
+	}
+	byID := map[string]*lane{}
+	var order []string
+	var tmax vclock.Time
+	for _, e := range events {
+		l, ok := byID[e.ID]
+		if !ok {
+			l = &lane{id: e.ID, kind: e.Kind, first: e.At}
+			byID[e.ID] = l
+			order = append(order, e.ID)
+		}
+		if e.At > l.last {
+			l.last = e.At
+		}
+		l.final = e.To
+		if e.At > tmax {
+			tmax = e.At
+		}
+	}
+	// Pilots first, then units, preserving first-seen order.
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := byID[order[a]].kind, byID[order[b]].kind
+		if ka != kb {
+			return ka == KindPilot
+		}
+		return false
+	})
+	span := float64(tmax)
+	if span <= 0 {
+		span = 1
+	}
+	pos := func(t vclock.Time) int {
+		p := int(float64(t) / span * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline 0 .. %v (one column ≈ %v)\n",
+		vclock.Duration(tmax), vclock.Duration(span/float64(width-1)))
+	for _, id := range order {
+		l := byID[id]
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		s, e := pos(l.first), pos(l.last)
+		for i := s; i <= e; i++ {
+			bar[i] = '='
+		}
+		bar[s] = '['
+		bar[e] = ']'
+		name := l.id
+		if len(name) > 30 {
+			name = name[:30]
+		}
+		fmt.Fprintf(&b, "%-30s |%s| %s\n", name, bar, l.final)
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package pilot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	events := []Event{
+		{Kind: KindPilot, ID: "pilot.0001(PA)", From: "", To: string(PilotNew), At: 0},
+		{Kind: KindPilot, ID: "pilot.0001(PA)", From: string(PilotNew), To: string(PilotActive), At: 100},
+		{Kind: KindUnit, ID: "unit.00001(pre)", From: "", To: string(UnitNew), At: 100},
+		{Kind: KindUnit, ID: "unit.00001(pre)", From: string(UnitNew), To: string(UnitDone), At: 900},
+		{Kind: KindPilot, ID: "pilot.0001(PA)", From: string(PilotActive), To: string(PilotDone), At: 1000},
+	}
+	out := RenderTimeline(events, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %q", out)
+	}
+	// Pilot lane before unit lane.
+	if !strings.Contains(lines[1], "pilot.0001") || !strings.Contains(lines[2], "unit.00001") {
+		t.Errorf("lane order:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "DONE") || !strings.Contains(lines[2], "DONE") {
+		t.Errorf("final states missing:\n%s", out)
+	}
+	// The pilot bar spans the full width; the unit starts later.
+	pilotStart := strings.IndexByte(lines[1], '[')
+	unitStart := strings.IndexByte(lines[2], '[')
+	if unitStart <= pilotStart {
+		t.Errorf("unit bar does not start after pilot bar:\n%s", out)
+	}
+}
+
+func TestRenderTimelineDegenerate(t *testing.T) {
+	if out := RenderTimeline(nil, 40); !strings.Contains(out, "no events") {
+		t.Errorf("empty: %q", out)
+	}
+	// Single instantaneous event and tiny width do not panic.
+	out := RenderTimeline([]Event{{Kind: KindUnit, ID: "u", To: "NEW", At: 0}}, 1)
+	if !strings.Contains(out, "u") {
+		t.Errorf("degenerate: %q", out)
+	}
+}
+
+func TestRenderTimelineFromRealRun(t *testing.T) {
+	prov, m := newRig()
+	p := activePilot(t, m, 1)
+	um := NewUnitManager(m.Store(), prov.Clock(), RoundRobin)
+	um.AddPilots(p)
+	um.Submit([]UnitDescription{{
+		Name: "job", Slots: 4,
+		Work: func(env *ExecEnv) (WorkResult, error) { return WorkResult{Duration: 60}, nil },
+	}})
+	um.Run()
+	m.CompletePilot(p)
+	out := RenderTimeline(m.Store().History(), 60)
+	if !strings.Contains(out, "pilot.0001") || !strings.Contains(out, "unit.00001(job)") {
+		t.Errorf("timeline:\n%s", out)
+	}
+}

@@ -1,0 +1,345 @@
+package pilot
+
+import (
+	"fmt"
+	"sort"
+
+	"rnascale/internal/cloud"
+	"rnascale/internal/cluster"
+	"rnascale/internal/sge"
+	"rnascale/internal/vclock"
+)
+
+// ExecEnv is what a unit's work function sees: the resources its
+// pilot granted.
+type ExecEnv struct {
+	// Store is the pilot cluster's shared filesystem.
+	Store *cluster.SharedStore
+	// SlotsByNode is the SGE placement (node name → slots).
+	SlotsByNode map[string]int
+	// Slots is the total slot count granted.
+	Slots int
+	// Nodes is the number of distinct nodes granted.
+	Nodes int
+	// InstanceType describes the hardware of each node.
+	InstanceType cloud.InstanceType
+}
+
+// WorkResult is what a unit's work function reports back.
+type WorkResult struct {
+	// Duration is the unit's virtual runtime on this allocation, from
+	// the component's cost model.
+	Duration vclock.Duration
+	// PeakMemoryGB is the resident high-water mark per node; exceeding
+	// the node's memory fails the unit (the paper's Table IV "X"
+	// entries are exactly this failure).
+	PeakMemoryGB float64
+	// Output is an arbitrary result payload.
+	Output any
+}
+
+// WorkFunc performs a unit's real computation.
+type WorkFunc func(env *ExecEnv) (WorkResult, error)
+
+// UnitDescription describes one compute unit.
+type UnitDescription struct {
+	Name string
+	// Slots is the SGE slot request.
+	Slots int
+	// Rule is the SGE parallel-environment allocation rule.
+	Rule sge.AllocationRule
+	// MemoryGBPerSlot is the declared per-slot memory demand used for
+	// placement feasibility (0 = unconstrained).
+	MemoryGBPerSlot float64
+	// MaxRetries is how many times the agent restarts a failing unit
+	// before declaring it FAILED — the pilot's "starting, monitoring,
+	// and restarting" responsibility. 0 means no retries.
+	MaxRetries int
+	// Work is the unit body.
+	Work WorkFunc
+}
+
+// Unit is a submitted compute unit.
+type Unit struct {
+	ID    string
+	Desc  UnitDescription
+	Pilot *Pilot
+	store *StateStore
+
+	// Start and End bracket the unit's execution in virtual time.
+	Start, End vclock.Time
+	// Attempts counts work executions (1 for a clean run; >1 when the
+	// agent restarted the unit).
+	Attempts int
+	// Result holds the work function's report when the unit is DONE.
+	Result WorkResult
+	// Err holds the failure cause when the unit is FAILED.
+	Err error
+}
+
+// State reports the unit's current state.
+func (u *Unit) State() UnitState {
+	s, _ := u.store.State(u.ID)
+	return UnitState(s)
+}
+
+// SchedulingPolicy selects a pilot for each unit.
+type SchedulingPolicy int
+
+const (
+	// RoundRobin cycles through pilots in submission order.
+	RoundRobin SchedulingPolicy = iota
+	// LeastLoaded binds each unit to the pilot whose SGE queue frees
+	// the requested slots earliest.
+	LeastLoaded
+)
+
+// String implements fmt.Stringer.
+func (p SchedulingPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("SchedulingPolicy(%d)", int(p))
+	}
+}
+
+// UnitManager binds compute units to pilots and executes them — the
+// UnitManager of RADICAL-Pilot.
+type UnitManager struct {
+	store  *StateStore
+	clock  *vclock.Clock
+	policy SchedulingPolicy
+	pilots []*Pilot
+	units  []*Unit
+	nextID int
+	rrNext int
+	// boundSlots counts slots of units bound to each pilot but not
+	// yet executed — the pending-load signal for LeastLoaded.
+	boundSlots map[*Pilot]int
+}
+
+// NewUnitManager returns a unit manager over the shared store.
+func NewUnitManager(store *StateStore, clock *vclock.Clock, policy SchedulingPolicy) *UnitManager {
+	return &UnitManager{store: store, clock: clock, policy: policy, boundSlots: map[*Pilot]int{}}
+}
+
+// AddPilots registers pilots as scheduling targets.
+func (um *UnitManager) AddPilots(ps ...*Pilot) error {
+	for _, p := range ps {
+		if p.State() != PilotActive {
+			return fmt.Errorf("pilot: cannot add %s in state %s", p.ID, p.State())
+		}
+		um.pilots = append(um.pilots, p)
+	}
+	return nil
+}
+
+// Submit registers units and binds each to a pilot according to the
+// scheduling policy, leaving them in AGENT_SCHEDULING. Execution
+// happens in Run.
+func (um *UnitManager) Submit(descs []UnitDescription) ([]*Unit, error) {
+	if len(um.pilots) == 0 {
+		return nil, fmt.Errorf("pilot: no pilots attached to unit manager")
+	}
+	now := um.clock.Now()
+	units := make([]*Unit, 0, len(descs))
+	for _, d := range descs {
+		if d.Work == nil {
+			return nil, fmt.Errorf("pilot: unit %q has no work function", d.Name)
+		}
+		if d.Slots <= 0 {
+			return nil, fmt.Errorf("pilot: unit %q requests %d slots", d.Name, d.Slots)
+		}
+		um.nextID++
+		u := &Unit{ID: fmt.Sprintf("unit.%05d(%s)", um.nextID, d.Name), Desc: d, store: um.store}
+		if err := um.store.Register(KindUnit, u.ID, string(UnitNew), now); err != nil {
+			return nil, err
+		}
+		if err := um.store.Transition(u.ID, string(UnitScheduling), now, "submitted"); err != nil {
+			return nil, err
+		}
+		u.Pilot = um.pick(u)
+		um.boundSlots[u.Pilot] += d.Slots
+		if err := um.store.Transition(u.ID, string(UnitScheduled), now,
+			"bound to "+u.Pilot.ID+" by "+um.policy.String()); err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+		um.units = append(um.units, u)
+	}
+	return units, nil
+}
+
+// pick applies the scheduling policy.
+func (um *UnitManager) pick(u *Unit) *Pilot {
+	switch um.policy {
+	case LeastLoaded:
+		best := um.pilots[0]
+		bestR, bestM := um.load(best, u.Desc.Slots)
+		for _, p := range um.pilots[1:] {
+			r, m := um.load(p, u.Desc.Slots)
+			if r < bestR || (r == bestR && m < bestM) {
+				best, bestR, bestM = p, r, m
+			}
+		}
+		return best
+	default: // RoundRobin
+		p := um.pilots[um.rrNext%len(um.pilots)]
+		um.rrNext++
+		return p
+	}
+}
+
+// load scores a pilot for LeastLoaded: primary key is the pending
+// bound-but-unexecuted load relative to the pilot's slot capacity,
+// secondary key is the SGE queue's current makespan. Pilots too small
+// for the request score +inf.
+func (um *UnitManager) load(p *Pilot, slots int) (float64, vclock.Time) {
+	sched := p.Cluster.Scheduler()
+	total := sched.TotalSlots()
+	if total < slots {
+		return 1e300, vclock.Time(1e300)
+	}
+	return float64(um.boundSlots[p]) / float64(total), vclock.Max(um.clock.Now(), sched.Makespan())
+}
+
+// Cancel cancels a unit that has not started executing.
+func (um *UnitManager) Cancel(u *Unit) error {
+	st := u.State()
+	if st.Final() {
+		return nil
+	}
+	if st == UnitExecuting {
+		return fmt.Errorf("pilot: unit %s already executing", u.ID)
+	}
+	return um.store.Transition(u.ID, string(UnitCanceled), um.clock.Now(), "canceled")
+}
+
+// Run executes every scheduled unit on its bound pilot: the work
+// function runs for real, its reported duration is scheduled on the
+// pilot's SGE queue, and memory is checked against the node size.
+// Run returns when all units are terminal, with the clock advanced to
+// the latest unit end ("waiting for completion").
+func (um *UnitManager) Run() error {
+	now := um.clock.Now()
+	type outcome struct {
+		u   *Unit
+		at  vclock.Time
+		err error
+	}
+	var outs []outcome
+	var latest vclock.Time
+	for _, u := range um.units {
+		if u.State() != UnitScheduled {
+			continue
+		}
+		if err := um.store.Transition(u.ID, string(UnitExecuting), now, "agent exec"); err != nil {
+			return err
+		}
+		end, err := um.execute(u, now)
+		if err != nil {
+			u.Err = err
+			outs = append(outs, outcome{u: u, at: now, err: err})
+			continue
+		}
+		outs = append(outs, outcome{u: u, at: end})
+		if end > latest {
+			latest = end
+		}
+	}
+	// Terminal events are recorded in virtual-time order so the global
+	// event log stays chronological.
+	sort.SliceStable(outs, func(a, b int) bool { return outs[a].at < outs[b].at })
+	for _, o := range outs {
+		if o.err != nil {
+			if err := um.store.Transition(o.u.ID, string(UnitFailed), o.at, o.err.Error()); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := um.store.Transition(o.u.ID, string(UnitDone), o.at, "exit 0"); err != nil {
+			return err
+		}
+	}
+	um.clock.AdvanceTo(latest)
+	// Executed units are no longer pending load.
+	um.boundSlots = map[*Pilot]int{}
+	return nil
+}
+
+// execute runs one unit — restarting it up to MaxRetries times on
+// failure, as the pilot agent does — and returns its virtual end
+// time.
+func (um *UnitManager) execute(u *Unit, at vclock.Time) (vclock.Time, error) {
+	p := u.Pilot
+	it := p.Cluster.InstanceType()
+	env := &ExecEnv{
+		Store:        p.Cluster.Store(),
+		InstanceType: it,
+		Slots:        u.Desc.Slots,
+	}
+	// SGE reserves on submit, so the work runs first (yielding the
+	// true duration), then the job is scheduled.
+	var res WorkResult
+	var err error
+	for u.Attempts = 1; ; u.Attempts++ {
+		res, err = um.attempt(u, env, it)
+		if err == nil {
+			break
+		}
+		if u.Attempts > u.Desc.MaxRetries {
+			if u.Desc.MaxRetries > 0 {
+				return 0, fmt.Errorf("%w (after %d attempts)", err, u.Attempts)
+			}
+			return 0, err
+		}
+	}
+	job, err := p.Cluster.Scheduler().Submit(sge.JobSpec{
+		Name:            u.ID,
+		Slots:           u.Desc.Slots,
+		Rule:            u.Desc.Rule,
+		Duration:        res.Duration,
+		MemoryGBPerSlot: u.Desc.MemoryGBPerSlot,
+	}, at)
+	if err != nil {
+		return 0, fmt.Errorf("sge: %w", err)
+	}
+	env.SlotsByNode = job.SlotsByNode
+	env.Nodes = len(job.SlotsByNode)
+	u.Start, u.End = job.Start, job.End
+	u.Result = res
+	return job.End, nil
+}
+
+// attempt runs the work function once and applies the result checks.
+func (um *UnitManager) attempt(u *Unit, env *ExecEnv, it cloud.InstanceType) (WorkResult, error) {
+	res, err := u.Desc.Work(env)
+	if err != nil {
+		return WorkResult{}, fmt.Errorf("work: %w", err)
+	}
+	if res.Duration < 0 {
+		return WorkResult{}, fmt.Errorf("work reported negative duration %v", res.Duration)
+	}
+	if res.PeakMemoryGB > it.MemoryGB {
+		return WorkResult{}, fmt.Errorf("out of memory: peak %.1f GB exceeds %s's %.1f GB",
+			res.PeakMemoryGB, it.Name, it.MemoryGB)
+	}
+	return res, nil
+}
+
+// Units lists every unit submitted through this manager.
+func (um *UnitManager) Units() []*Unit { return append([]*Unit(nil), um.units...) }
+
+// Failed lists units in FAILED state.
+func (um *UnitManager) Failed() []*Unit {
+	var out []*Unit
+	for _, u := range um.units {
+		if u.State() == UnitFailed {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package preprocess
+
+import (
+	"strings"
+	"testing"
+
+	"rnascale/internal/seq"
+	"rnascale/internal/simdata"
+)
+
+func read(id, bases string, quals ...int) seq.Read {
+	r := seq.Read{ID: id, Seq: []byte(bases)}
+	if len(quals) > 0 {
+		r.Qual = make([]byte, len(quals))
+		for i, q := range quals {
+			r.Qual[i] = seq.PhredToByte(q)
+		}
+	}
+	return r
+}
+
+func TestTrimQuality(t *testing.T) {
+	rs := seq.ReadSet{Reads: []seq.Read{
+		read("r1", "ACGTACGT", 30, 30, 30, 30, 30, 30, 5, 5),
+	}}
+	opts := DefaultOptions()
+	opts.MinLength = 4
+	out, st := Run(rs, opts)
+	if len(out.Reads) != 1 {
+		t.Fatalf("reads out: %d", len(out.Reads))
+	}
+	if got := string(out.Reads[0].Seq); got != "ACGTAC" {
+		t.Errorf("trimmed to %q", got)
+	}
+	if st.TrimmedBases != 2 {
+		t.Errorf("trimmed %d bases", st.TrimmedBases)
+	}
+	if len(out.Reads[0].Qual) != 6 {
+		t.Error("qualities not trimmed with bases")
+	}
+}
+
+func TestDropShort(t *testing.T) {
+	rs := seq.ReadSet{Reads: []seq.Read{
+		read("short", "ACG", 30, 30, 30),
+		read("long", strings.Repeat("ACGT", 10)),
+	}}
+	out, st := Run(rs, DefaultOptions())
+	if len(out.Reads) != 1 || out.Reads[0].ID != "long" {
+		t.Errorf("kept %v", out.Reads)
+	}
+	if st.DroppedShort != 1 {
+		t.Errorf("dropped short %d", st.DroppedShort)
+	}
+}
+
+func TestDropNRich(t *testing.T) {
+	rs := seq.ReadSet{Reads: []seq.Read{
+		read("nrich", strings.Repeat("N", 20)+strings.Repeat("A", 20)),
+		read("clean", strings.Repeat("ACGT", 10)),
+	}}
+	out, st := Run(rs, DefaultOptions())
+	if len(out.Reads) != 1 || out.Reads[0].ID != "clean" {
+		t.Errorf("kept %v", out.Reads)
+	}
+	if st.DroppedNRich != 1 {
+		t.Errorf("dropped N-rich %d", st.DroppedNRich)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	dup := strings.Repeat("ACGT", 10)
+	rs := seq.ReadSet{Reads: []seq.Read{
+		read("a", dup), read("b", dup), read("c", strings.Repeat("TTTT", 10)),
+	}}
+	out, st := Run(rs, DefaultOptions())
+	if len(out.Reads) != 2 {
+		t.Errorf("kept %d reads", len(out.Reads))
+	}
+	if st.DroppedDup != 1 {
+		t.Errorf("dup drops %d", st.DroppedDup)
+	}
+	opts := DefaultOptions()
+	opts.Dedup = false
+	out, _ = Run(rs, opts)
+	if len(out.Reads) != 3 {
+		t.Error("dedup off still dropped")
+	}
+}
+
+func TestPairedDropsWholeFragment(t *testing.T) {
+	long := strings.Repeat("ACGT", 15)
+	rs := seq.ReadSet{Paired: true, Reads: []seq.Read{
+		read("f1/1", long), read("f1/2", "ACG", 30, 30, 30), // mate 2 too short
+		read("f2/1", long), read("f2/2", long),
+	}}
+	out, st := Run(rs, DefaultOptions())
+	if len(out.Reads) != 2 {
+		t.Fatalf("kept %d reads, want the one intact pair", len(out.Reads))
+	}
+	if !out.Paired {
+		t.Error("pairing flag lost")
+	}
+	if st.DroppedShort != 2 {
+		t.Errorf("dropped short %d, want 2 (whole fragment)", st.DroppedShort)
+	}
+	if err := out.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairedDedupFragmentLevel(t *testing.T) {
+	a := strings.Repeat("ACGT", 12)
+	b := strings.Repeat("GGCC", 12)
+	rs := seq.ReadSet{Paired: true, Reads: []seq.Read{
+		read("f1/1", a), read("f1/2", b),
+		read("f2/1", a), read("f2/2", b), // exact duplicate fragment
+		read("f3/1", b), read("f3/2", a), // different order → kept
+	}}
+	out, st := Run(rs, DefaultOptions())
+	if len(out.Reads) != 4 {
+		t.Errorf("kept %d reads", len(out.Reads))
+	}
+	if st.DroppedDup != 2 {
+		t.Errorf("dup drops %d", st.DroppedDup)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	rs := seq.ReadSet{Reads: []seq.Read{read("a", strings.Repeat("ACGT", 10))}}
+	_, st := Run(rs, DefaultOptions())
+	s := st.String()
+	if !strings.Contains(s, "1 -> 1 reads") {
+		t.Errorf("stats string %q", s)
+	}
+}
+
+func TestRunOnSyntheticDataset(t *testing.T) {
+	ds, err := simdata.Generate(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st := Run(ds.Reads, DefaultOptions())
+	if st.OutputReads == 0 {
+		t.Fatal("all reads filtered")
+	}
+	keep := float64(st.OutputReads) / float64(st.InputReads)
+	if keep < 0.5 {
+		t.Errorf("kept only %.0f%% of healthy synthetic reads", 100*keep)
+	}
+	if st.OutputBases > st.InputBases {
+		t.Error("bases grew")
+	}
+	if err := out.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKmerPlan(t *testing.T) {
+	ks := KmerPlan(50, 50)
+	if len(ks) < 3 {
+		t.Errorf("plan for 50 bp: %v", ks)
+	}
+	for i, k := range ks {
+		if k%2 == 0 {
+			t.Errorf("even k %d", k)
+		}
+		if i > 0 && ks[i] <= ks[i-1] {
+			t.Errorf("non-increasing plan %v", ks)
+		}
+		if k >= 50 {
+			t.Errorf("k %d >= read length", k)
+		}
+	}
+	// Degenerate input still yields one usable k.
+	ks = KmerPlan(8, 36)
+	if len(ks) != 1 || ks[0] < 15 {
+		t.Errorf("degenerate plan %v", ks)
+	}
+	// k never exceeds the codec's MaxK.
+	for _, k := range KmerPlan(200, 200) {
+		if k > seq.MaxK {
+			t.Errorf("k %d beyond MaxK", k)
+		}
+	}
+}
+
+func TestCostModelCalibration(t *testing.T) {
+	m := DefaultCostModel()
+	// Sample run: 4.4 GB paired on 8 cores ≈ 44 min.
+	fs := simdata.BGlumaePaired().FullScale
+	d := m.Duration(fs, 8)
+	if d < 35*60 || d > 55*60 {
+		t.Errorf("4.4GB/8-core duration %v, want ≈44m", d)
+	}
+	// Table IV memory: B. Glumae fits 16 GB, P. Crispa does not.
+	if got := m.MemoryGB(simdata.BGlumae().FullScale); got > 16 {
+		t.Errorf("B. Glumae preprocess memory %.1f GB must fit c3.2xlarge", got)
+	}
+	if got := m.MemoryGB(simdata.PCrispa().FullScale); got <= 16 {
+		t.Errorf("P. Crispa preprocess memory %.1f GB must exceed c3.2xlarge", got)
+	}
+	if got := m.MemoryGB(simdata.PCrispa().FullScale); got > 61 {
+		t.Errorf("P. Crispa preprocess memory %.1f GB must fit r3.2xlarge", got)
+	}
+	// More cores, faster.
+	if m.Duration(fs, 16) >= m.Duration(fs, 8) {
+		t.Error("duration not decreasing in cores")
+	}
+	if m.Duration(fs, 0) <= 0 {
+		t.Error("zero cores must fall back to one")
+	}
+}

@@ -1,0 +1,22 @@
+package quant
+
+import (
+	"testing"
+
+	"rnascale/internal/simdata"
+)
+
+func BenchmarkQuantify(b *testing.B) {
+	ds, err := simdata.Generate(simdata.Tiny())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Quantify(ds.Transcripts, ds.Reads.Reads, DefaultOptions())
+		if err != nil || res.TotalReads == 0 {
+			b.Fatalf("%v", err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package quant
+
+import (
+	"testing"
+
+	"rnascale/internal/seq"
+	"rnascale/internal/simdata"
+)
+
+func TestQuantifyAssignsReadsToSource(t *testing.T) {
+	ds, err := simdata.Generate(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Quantify(ds.Transcripts, ds.Reads.Reads, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MappingRate() < 0.9 {
+		t.Errorf("mapping rate %.2f; error-free-ish synthetic reads should map", res.MappingRate())
+	}
+	// TPM sums to ~1e6.
+	var tpm float64
+	for _, a := range res.Abundances {
+		tpm += a.TPM
+	}
+	if tpm < 0.99e6 || tpm > 1.01e6 {
+		t.Errorf("TPM sum %.0f", tpm)
+	}
+	// Sorted by count descending.
+	for i := 1; i < len(res.Abundances); i++ {
+		if res.Abundances[i].Count > res.Abundances[i-1].Count {
+			t.Fatal("abundances not sorted")
+		}
+	}
+}
+
+func TestQuantCorrelatesWithTrueExpression(t *testing.T) {
+	ds, err := simdata.Generate(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Quantify(ds.Transcripts, ds.Reads.Reads, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spearman-ish check: the transcript with the highest expected
+	// sampling weight (expr × length) should be among the top half by
+	// count.
+	byID := map[string]int64{}
+	for _, a := range res.Abundances {
+		byID[a.ID] = a.Count
+	}
+	bestIdx, bestW := 0, 0.0
+	for i, tx := range ds.Transcripts {
+		w := ds.Expression[i] * float64(len(tx.Seq))
+		if w > bestW {
+			bestIdx, bestW = i, w
+		}
+	}
+	rank := 0
+	bestCount := byID[ds.Transcripts[bestIdx].ID]
+	for _, c := range byID {
+		if c > bestCount {
+			rank++
+		}
+	}
+	if rank > len(ds.Transcripts)/2 {
+		t.Errorf("most-expressed transcript ranked %d of %d by counts", rank, len(ds.Transcripts))
+	}
+}
+
+func TestQuantifyUnmappableReads(t *testing.T) {
+	tx := []seq.FastaRecord{{ID: "t", Seq: []byte("ACGTACGTACGTACGTACGTACGTACGTACGT")}}
+	junk := []seq.Read{{ID: "r", Seq: []byte("GGGGGGGGGGGGGGGGGGGGGGGGGG")}}
+	res, err := Quantify(tx, junk, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AssignedReads != 0 {
+		t.Error("junk read assigned")
+	}
+	if res.MappingRate() != 0 {
+		t.Error("mapping rate nonzero")
+	}
+}
+
+func TestQuantifyValidation(t *testing.T) {
+	if _, err := Quantify(nil, nil, DefaultOptions()); err == nil {
+		t.Error("no transcripts accepted")
+	}
+	tx := []seq.FastaRecord{{ID: "t", Seq: []byte("ACGT")}}
+	if _, err := Quantify(tx, nil, Options{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestQuantifyEmptyReads(t *testing.T) {
+	tx := []seq.FastaRecord{{ID: "t", Seq: []byte("ACGTACGTACGTACGTACGTACG")}}
+	res, err := Quantify(tx, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalReads != 0 || res.MappingRate() != 0 {
+		t.Errorf("empty reads: %+v", res)
+	}
+}
+
+func TestCostModelSampleRunCalibration(t *testing.T) {
+	m := DefaultCostModel()
+	// Sample run: post-processing took 41 min on one 8-core VM.
+	fs := simdata.BGlumaePaired().FullScale
+	d := m.Duration(fs, 8)
+	if d < 30*60 || d > 55*60 {
+		t.Errorf("post-processing duration %v, want ≈41m", d)
+	}
+	// Table IV: post-processing fits c3.2xlarge for both datasets.
+	if got := m.MemoryGB(simdata.PCrispa().FullScale); got > 16 {
+		t.Errorf("P. Crispa post-processing %.1f GB should fit c3.2xlarge", got)
+	}
+	if m.Duration(fs, 0) <= 0 {
+		t.Error("zero-core fallback broken")
+	}
+}

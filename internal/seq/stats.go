@@ -1,0 +1,102 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SetStats summarizes a read set — the QC numbers a sequencing
+// facility reports and the pre-processing stage logs.
+type SetStats struct {
+	Reads     int
+	Bases     int64
+	MinLen    int
+	MaxLen    int
+	MeanLen   float64
+	MedianLen int
+	GCContent float64
+	NRate     float64
+	// MeanQuality is the mean Phred score over all bases (0 when no
+	// reads carry qualities).
+	MeanQuality float64
+	// Q20Rate and Q30Rate are the fractions of bases at or above
+	// Phred 20 / 30, among quality-bearing bases.
+	Q20Rate, Q30Rate float64
+	Paired           bool
+}
+
+// ComputeStats scans the read set once.
+func ComputeStats(rs ReadSet) SetStats {
+	st := SetStats{Reads: len(rs.Reads), Paired: rs.Paired}
+	if st.Reads == 0 {
+		return st
+	}
+	lengths := make([]int, 0, len(rs.Reads))
+	var gc, acgt, nCount int64
+	var qualSum, qualBases, q20, q30 int64
+	st.MinLen = len(rs.Reads[0].Seq)
+	for i := range rs.Reads {
+		r := &rs.Reads[i]
+		l := len(r.Seq)
+		lengths = append(lengths, l)
+		st.Bases += int64(l)
+		if l < st.MinLen {
+			st.MinLen = l
+		}
+		if l > st.MaxLen {
+			st.MaxLen = l
+		}
+		for _, b := range r.Seq {
+			code, ok := Code(b)
+			if !ok {
+				nCount++
+				continue
+			}
+			acgt++
+			if code == BaseC || code == BaseG {
+				gc++
+			}
+		}
+		for _, q := range r.Qual {
+			p := ByteToPhred(q)
+			qualSum += int64(p)
+			qualBases++
+			if p >= 20 {
+				q20++
+			}
+			if p >= 30 {
+				q30++
+			}
+		}
+	}
+	st.MeanLen = float64(st.Bases) / float64(st.Reads)
+	sort.Ints(lengths)
+	st.MedianLen = lengths[len(lengths)/2]
+	if acgt > 0 {
+		st.GCContent = float64(gc) / float64(acgt)
+	}
+	if st.Bases > 0 {
+		st.NRate = float64(nCount) / float64(st.Bases)
+	}
+	if qualBases > 0 {
+		st.MeanQuality = float64(qualSum) / float64(qualBases)
+		st.Q20Rate = float64(q20) / float64(qualBases)
+		st.Q30Rate = float64(q30) / float64(qualBases)
+	}
+	return st
+}
+
+// String renders a FastQC-style one-block report.
+func (s SetStats) String() string {
+	var b strings.Builder
+	kind := "single-end"
+	if s.Paired {
+		kind = "paired-end"
+	}
+	fmt.Fprintf(&b, "%d %s reads, %d bases (len %d..%d, mean %.1f, median %d)\n",
+		s.Reads, kind, s.Bases, s.MinLen, s.MaxLen, s.MeanLen, s.MedianLen)
+	fmt.Fprintf(&b, "GC %.1f%%, N %.3f%%, meanQ %.1f, Q20 %.1f%%, Q30 %.1f%%",
+		100*s.GCContent, 100*s.NRate, s.MeanQuality, 100*s.Q20Rate, 100*s.Q30Rate)
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	rs := ReadSet{Paired: true, Reads: []Read{
+		{ID: "a/1", Seq: []byte("GGCC"), Qual: []byte{PhredToByte(35), PhredToByte(35), PhredToByte(10), PhredToByte(25)}},
+		{ID: "a/2", Seq: []byte("AATTNN"), Qual: []byte{PhredToByte(30), PhredToByte(30), PhredToByte(30), PhredToByte(30), PhredToByte(2), PhredToByte(2)}},
+	}}
+	st := ComputeStats(rs)
+	if st.Reads != 2 || st.Bases != 10 || st.MinLen != 4 || st.MaxLen != 6 {
+		t.Errorf("shape: %+v", st)
+	}
+	if st.MeanLen != 5 || st.MedianLen != 6 {
+		t.Errorf("lengths: %+v", st)
+	}
+	// GC: 4 GC of 8 unambiguous bases.
+	if st.GCContent != 0.5 {
+		t.Errorf("gc %v", st.GCContent)
+	}
+	if st.NRate != 0.2 {
+		t.Errorf("n rate %v", st.NRate)
+	}
+	// Qualities: 35,35,10,25,30,30,30,30,2,2 → mean 22.9; Q20: 7/10; Q30: 6/10.
+	if st.MeanQuality < 22.8 || st.MeanQuality > 23 {
+		t.Errorf("meanQ %v", st.MeanQuality)
+	}
+	if st.Q20Rate != 0.7 || st.Q30Rate != 0.6 {
+		t.Errorf("q20 %v q30 %v", st.Q20Rate, st.Q30Rate)
+	}
+	if !st.Paired {
+		t.Error("paired lost")
+	}
+	out := st.String()
+	for _, want := range []string{"paired-end", "GC 50.0%", "Q30 60.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := ComputeStats(ReadSet{})
+	if st.Reads != 0 || st.Bases != 0 {
+		t.Errorf("%+v", st)
+	}
+	_ = st.String()
+}
+
+func TestComputeStatsNoQualities(t *testing.T) {
+	st := ComputeStats(ReadSet{Reads: []Read{{ID: "r", Seq: []byte("ACGT")}}})
+	if st.MeanQuality != 0 || st.Q20Rate != 0 {
+		t.Errorf("%+v", st)
+	}
+}

@@ -1,0 +1,268 @@
+package simdata
+
+import (
+	"fmt"
+	"testing"
+
+	"rnascale/internal/seq"
+)
+
+func TestProfilesMatchTableII(t *testing.T) {
+	bg := BGlumae()
+	if bg.FullScale.GenomeSizeBp != 6_700_000 || bg.FullScale.ProteinGenes != 5223 {
+		t.Errorf("B. Glumae full-scale stats: %+v", bg.FullScale)
+	}
+	if bg.FullScale.ReadLen != 50 || bg.FullScale.Paired {
+		t.Error("B. Glumae read shape wrong")
+	}
+	if len(bg.FullScale.AssemblyKmers) != 7 || bg.FullScale.AssemblyKmers[0] != 35 || bg.FullScale.AssemblyKmers[6] != 47 {
+		t.Errorf("B. Glumae k-mers %v", bg.FullScale.AssemblyKmers)
+	}
+	pc := PCrispa()
+	if pc.FullScale.GenomeSizeBp != 34_500_000 || pc.FullScale.ProteinGenes != 13617 {
+		t.Errorf("P. Crispa full-scale stats: %+v", pc.FullScale)
+	}
+	if !pc.FullScale.Paired || pc.FullScale.ReadLen != 100 {
+		t.Error("P. Crispa read shape wrong")
+	}
+	if len(pc.FullScale.AssemblyKmers) != 4 || pc.FullScale.AssemblyKmers[3] != 63 {
+		t.Errorf("P. Crispa k-mers %v", pc.FullScale.AssemblyKmers)
+	}
+	// Memory ordering that drives Table IV: P. Crispa preprocessing
+	// cannot fit a 16 GB instance, B. Glumae can.
+	if pc.FullScale.PreprocessMemGB <= 16 {
+		t.Error("P. Crispa preprocessing must exceed 16 GB")
+	}
+	if bg.FullScale.PreprocessMemGB > 16 {
+		t.Error("B. Glumae preprocessing must fit 16 GB")
+	}
+	if len(Profiles()) < 3 {
+		t.Error("missing built-in profiles")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Genome) != string(b.Genome) {
+		t.Error("genomes differ across runs")
+	}
+	if len(a.Reads.Reads) != len(b.Reads.Reads) {
+		t.Fatal("read counts differ")
+	}
+	for i := range a.Reads.Reads {
+		if string(a.Reads.Reads[i].Seq) != string(b.Reads.Reads[i].Seq) {
+			t.Fatalf("read %d differs", i)
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	p := Tiny()
+	ds, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Genome) != p.GenomeSize {
+		t.Errorf("genome %d bp", len(ds.Genome))
+	}
+	if len(ds.Transcripts) != p.NumGenes || len(ds.Expression) != p.NumGenes {
+		t.Errorf("%d transcripts, %d expressions", len(ds.Transcripts), len(ds.Expression))
+	}
+	expressed := 0
+	for i, tx := range ds.Transcripts {
+		if len(tx.Seq) < p.ReadLen {
+			t.Errorf("transcript %d shorter than a read", i)
+		}
+		if ds.Expression[i] < 0 {
+			t.Errorf("negative expression %d = %v", i, ds.Expression[i])
+		}
+		if ds.Expression[i] > 0 {
+			expressed++
+		}
+	}
+	if expressed == 0 {
+		t.Fatal("no expressed genes")
+	}
+	if len(ds.Annotations) != len(ds.Transcripts) {
+		t.Fatalf("%d annotations for %d transcripts", len(ds.Annotations), len(ds.Transcripts))
+	}
+	for i, a := range ds.Annotations {
+		if len(a.Seq) > len(ds.Transcripts[i].Seq) {
+			t.Errorf("annotation %d longer than its transcript", i)
+		}
+	}
+	if err := ds.Reads.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Reads.Reads {
+		if len(r.Seq) != p.ReadLen {
+			t.Fatalf("read %s length %d", r.ID, len(r.Seq))
+		}
+	}
+	// Coverage sanity: within 30% of target.
+	var txBases int
+	for _, tx := range ds.Transcripts {
+		txBases += len(tx.Seq)
+	}
+	got := float64(ds.Reads.TotalBases()) / float64(txBases)
+	if got < p.Coverage*0.7 || got > p.Coverage*1.3 {
+		t.Errorf("coverage %.1f, want ≈%.1f", got, p.Coverage)
+	}
+}
+
+func TestGeneratePairedReads(t *testing.T) {
+	p := PCrispa()
+	p.GenomeSize = 30_000
+	p.NumGenes = 20
+	p.Coverage = 10
+	ds, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Reads.Paired || len(ds.Reads.Reads)%2 != 0 {
+		t.Fatal("paired structure broken")
+	}
+	// Mates carry /1 and /2 suffixes of the same fragment ID.
+	for i := 0; i < len(ds.Reads.Reads); i += 2 {
+		id1, id2 := ds.Reads.Reads[i].ID, ds.Reads.Reads[i+1].ID
+		if id1[:len(id1)-2] != id2[:len(id2)-2] {
+			t.Fatalf("mate IDs %s / %s", id1, id2)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := Tiny()
+	bad.GenomeSize = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero genome accepted")
+	}
+	bad = Tiny()
+	bad.MeanTranscriptLen = bad.ReadLen - 1
+	if _, err := Generate(bad); err == nil {
+		t.Error("transcripts shorter than reads accepted")
+	}
+	bad = Tiny()
+	bad.NumGenes = 10000
+	if _, err := Generate(bad); err == nil {
+		t.Error("too many genes accepted")
+	}
+	bad = PCrispa()
+	bad.InsertSize = 10
+	if _, err := Generate(bad); err == nil {
+		t.Error("insert < read length accepted")
+	}
+}
+
+func TestReadsResembleTranscripts(t *testing.T) {
+	// Error rate is low, so most reads should align exactly to some
+	// transcript (forward or reverse complement).
+	p := Tiny()
+	p.ErrorRate = 0
+	p.NRate = 0
+	ds, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := map[string]bool{}
+	k := p.ReadLen
+	for _, tx := range ds.Transcripts {
+		for i := 0; i+k <= len(tx.Seq); i++ {
+			index[string(tx.Seq[i:i+k])] = true
+		}
+		rc := seq.ReverseComplement(tx.Seq)
+		for i := 0; i+k <= len(rc); i++ {
+			index[string(rc[i:i+k])] = true
+		}
+	}
+	miss := 0
+	for _, r := range ds.Reads.Reads {
+		if !index[string(r.Seq)] {
+			miss++
+		}
+	}
+	if miss != 0 {
+		t.Errorf("%d of %d error-free reads not found in transcriptome", miss, len(ds.Reads.Reads))
+	}
+}
+
+func TestErrorModelInjects(t *testing.T) {
+	p := Tiny()
+	p.ErrorRate = 0.05
+	p.NRate = 0.01
+	ds, _ := Generate(p)
+	n := 0
+	for _, r := range ds.Reads.Reads {
+		n += seq.CountN(r.Seq)
+	}
+	if n == 0 {
+		t.Error("no N bases injected at 1% N rate")
+	}
+}
+
+func TestScaleRatio(t *testing.T) {
+	ds, _ := Generate(Tiny())
+	r := ds.ScaleRatio()
+	if r <= 100 {
+		t.Errorf("scale ratio %v suspiciously small", r)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds, _ := Generate(Tiny())
+	half := ds.Subset(0.5)
+	full := ds.Reads.Fragments()
+	got := half.Reads.Fragments()
+	if got < full/2-2 || got > full/2+2 {
+		t.Errorf("half subset has %d of %d fragments", got, full)
+	}
+	if half.Profile.FullScale.SeqDataBytes >= ds.Profile.FullScale.SeqDataBytes {
+		t.Error("full-scale stats not scaled")
+	}
+	if same := ds.Subset(1.0); same.Reads.Fragments() != full {
+		t.Error("fraction 1 must be identity")
+	}
+	if tiny := ds.Subset(-1); tiny.Reads.Fragments() < 1 {
+		t.Error("degenerate fraction must keep at least one fragment")
+	}
+	// Paired subsets stay paired.
+	p := PCrispa()
+	p.GenomeSize = 30_000
+	p.NumGenes = 20
+	p.Coverage = 8
+	pds, _ := Generate(p)
+	sub := pds.Subset(0.25)
+	if !sub.Reads.Paired || len(sub.Reads.Reads)%2 != 0 {
+		t.Error("paired subset broken")
+	}
+	if err := sub.Reads.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQualityProfileDecays(t *testing.T) {
+	ds, _ := Generate(Tiny())
+	var headSum, tailSum float64
+	n := 0
+	for _, r := range ds.Reads.Reads {
+		headSum += float64(seq.ByteToPhred(r.Qual[0]))
+		tailSum += float64(seq.ByteToPhred(r.Qual[len(r.Qual)-1]))
+		n++
+	}
+	if headSum/float64(n) <= tailSum/float64(n) {
+		t.Error("quality does not decay toward 3' end")
+	}
+}
+
+func ExampleGenerate() {
+	ds, _ := Generate(Tiny())
+	fmt.Println(ds.Profile.Organism, len(ds.Transcripts) > 0, ds.Reads.Fragments() > 0)
+	// Output: B. Glumae true true
+}

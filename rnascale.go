@@ -1,0 +1,153 @@
+// Package rnascale is a scalable, pilot-based pipeline for
+// transcriptome profiling (RNA-seq) on on-demand computing clouds — a
+// from-scratch Go reproduction of Shams et al., "A Scalable Pipeline
+// for Transcriptome Profiling Tasks with On-demand Computing Clouds"
+// (IPDPSW 2016).
+//
+// The package is the public facade over the implementation packages:
+//
+//	internal/core        the pilot-based Rnnotator-style pipeline
+//	internal/pilot       the RADICAL-Pilot-style pilot-job framework
+//	internal/cloud       the simulated EC2-style IaaS provider
+//	internal/cluster     StarCluster-style cluster building
+//	internal/sge         the Sun Grid Engine-style batch queue
+//	internal/mpi         the MPI runtime for Ray and ABySS
+//	internal/mapreduce   the Hadoop engine for Contrail
+//	internal/assembler   the Table I de novo assemblers
+//	internal/simdata     synthetic datasets standing in for the
+//	                     paper's B. Glumae and P. Crispa sets
+//
+// # Quick start
+//
+//	ds, err := rnascale.GenerateDataset(rnascale.ProfileTiny)
+//	if err != nil { ... }
+//	cfg := rnascale.DefaultConfig()
+//	cfg.Assemblers = []string{"ray", "abyss", "contrail"} // MAMP
+//	report, err := rnascale.Run(ds, cfg)
+//	if err != nil { ... }
+//	fmt.Print(report.Summary())
+//
+// All reported times are deterministic virtual seconds at the paper's
+// full dataset scale; the assembly computation itself is real and
+// runs on the scaled synthetic reads (see DESIGN.md).
+package rnascale
+
+import (
+	"fmt"
+
+	_ "rnascale/internal/assembler/all" // register the Table I assemblers
+	"rnascale/internal/core"
+	"rnascale/internal/simdata"
+)
+
+// Re-exported pipeline types. See internal/core for full
+// documentation of each.
+type (
+	// Config parameterizes a pipeline run.
+	Config = core.Config
+	// Report is the outcome of a pipeline run.
+	Report = core.Report
+	// StageReport is per-stage accounting.
+	StageReport = core.StageReport
+	// MatchingScheme selects the pilot↔VM matching scheme (Fig. 5).
+	MatchingScheme = core.MatchingScheme
+	// WorkflowPattern selects the pilot workflow pattern (Fig. 2).
+	WorkflowPattern = core.WorkflowPattern
+	// Dataset is a synthetic dataset with ground truth.
+	Dataset = simdata.Dataset
+	// Profile describes a synthetic dataset generator.
+	Profile = simdata.Profile
+)
+
+// Matching schemes (paper Fig. 5).
+const (
+	// S1 couples each pilot to the lifetime of its VMs.
+	S1 = core.S1
+	// S2 reuses running VMs across pilots.
+	S2 = core.S2
+)
+
+// Workflow patterns (paper Fig. 2).
+const (
+	// Conventional runs every stage on one pilot.
+	Conventional = core.Conventional
+	// DistributedStatic fixes per-stage resources a priori.
+	DistributedStatic = core.DistributedStatic
+	// DistributedDynamic sizes each stage just before it starts.
+	DistributedDynamic = core.DistributedDynamic
+)
+
+// ProfileName selects a built-in dataset profile.
+type ProfileName string
+
+// Built-in dataset profiles.
+const (
+	// ProfileBGlumae mirrors the paper's bacterial dataset (Table II).
+	ProfileBGlumae ProfileName = "bglumae"
+	// ProfilePCrispa mirrors the paper's fungal dataset (Table II).
+	ProfilePCrispa ProfileName = "pcrispa"
+	// ProfileBGlumaePaired mirrors the paper's sample-run dataset.
+	ProfileBGlumaePaired ProfileName = "bglumae-paired"
+	// ProfileTiny is a fast test-size dataset.
+	ProfileTiny ProfileName = "tiny"
+)
+
+// LookupProfile resolves a profile by name.
+func LookupProfile(name ProfileName) (Profile, error) {
+	if name == ProfileTiny {
+		return simdata.Tiny(), nil
+	}
+	p, ok := simdata.Profiles()[string(name)]
+	if !ok {
+		return Profile{}, fmt.Errorf("rnascale: unknown profile %q", name)
+	}
+	return p, nil
+}
+
+// GenerateDataset materializes a built-in profile.
+func GenerateDataset(name ProfileName) (*Dataset, error) {
+	p, err := LookupProfile(name)
+	if err != nil {
+		return nil, err
+	}
+	return simdata.Generate(p)
+}
+
+// DefaultConfig reproduces the paper's sample-run setup (scheme S2,
+// dynamic workflow, the three distributed assemblers, c3.2xlarge).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Run executes the pipeline over a dataset.
+func Run(ds *Dataset, cfg Config) (*Report, error) { return core.Run(ds, cfg) }
+
+// Plan is a predicted execution (stage TTCs and cost) of a
+// configuration — computed a priori from the cost models, without
+// running any assembly.
+type Plan = core.Plan
+
+// Objective selects what Optimize minimizes.
+type Objective = core.Objective
+
+// Optimization objectives.
+const (
+	// MinimizeTTC picks the fastest predicted configuration.
+	MinimizeTTC = core.MinimizeTTC
+	// MinimizeCost picks the cheapest predicted configuration.
+	MinimizeCost = core.MinimizeCost
+)
+
+// Predict estimates a configuration's per-stage TTCs and cost.
+func Predict(ds *Dataset, cfg Config) (Plan, error) { return core.Predict(ds, cfg) }
+
+// Optimize returns the feasible candidate configuration with the best
+// predicted objective.
+func Optimize(ds *Dataset, candidates []Config, obj Objective) (Plan, error) {
+	return core.Optimize(ds, candidates, obj)
+}
+
+// Assemblers lists the names of the integrated de novo assemblers:
+// the paper's three distributed tools (Table I), Rnnotator's stock
+// single-node k-mer assemblers, and the Trinity comparator.
+func Assemblers() []string {
+	return []string{"ray", "abyss", "contrail", "velvet", "oases", "idba", "minia", "trinity"}
+}
