@@ -1,0 +1,32 @@
+# rnascale build and verification targets.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the gate a change must pass before review: static analysis
+# plus the full test suite under the race detector.
+check: vet race
+
+# bench regenerates the paper tables at quick scale and refreshes
+# BENCH_results.json (per-stage TTC/cost snapshots).
+bench:
+	$(GO) run ./cmd/benchtab -experiment all
+
+clean:
+	rm -f BENCH_results.json
+	$(GO) clean ./...

@@ -10,21 +10,31 @@
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3
 // fig4a fig4b fig5 ablations all
+//
+// Alongside the printed tables, benchtab executes a canonical set of
+// quick pipeline runs and writes their observability snapshots
+// (per-stage TTC and cost) to -json (default BENCH_results.json), so
+// the performance trajectory is machine-comparable across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"rnascale/internal/core"
 	"rnascale/internal/experiments"
+	"rnascale/internal/obs"
+	"rnascale/internal/simdata"
 )
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "experiment to run (table1..table5, fig1..fig5, ablations, all)")
-		scale = flag.String("scale", "quick", "dataset scale: quick or full")
+		exp      = flag.String("experiment", "all", "experiment to run (table1..table5, fig1..fig5, ablations, all)")
+		scale    = flag.String("scale", "quick", "dataset scale: quick or full")
+		jsonPath = flag.String("json", "BENCH_results.json", "write machine-readable stage TTC/cost snapshots here (empty disables)")
 	)
 	flag.Parse()
 
@@ -86,4 +96,68 @@ func main() {
 		fmt.Println("================================================================")
 		fmt.Println(out)
 	}
+
+	if *jsonPath != "" {
+		if err := writeBenchResults(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// benchRun is one canonical configuration tracked across revisions.
+type benchRun struct {
+	Name     string           `json:"name"`
+	Snapshot *obs.RunSnapshot `json:"snapshot"`
+}
+
+// benchResults is the BENCH_results.json document.
+type benchResults struct {
+	Schema string     `json:"schema"`
+	Runs   []benchRun `json:"runs"`
+}
+
+// writeBenchResults executes the canonical quick runs and dumps their
+// snapshots. The set spans the design space's corners: the paper's
+// sample setup (S2 dynamic), its S1 counterpart, and the conventional
+// single-pilot baseline.
+func writeBenchResults(path string) error {
+	cases := []struct {
+		name    string
+		scheme  core.MatchingScheme
+		pattern core.WorkflowPattern
+	}{
+		{"conventional", core.S1, core.Conventional},
+		{"static-S1", core.S1, core.DistributedStatic},
+		{"dynamic-S1", core.S1, core.DistributedDynamic},
+		{"dynamic-S2", core.S2, core.DistributedDynamic},
+	}
+	doc := benchResults{Schema: "rnascale.bench-results/v1"}
+	for _, c := range cases {
+		ds, err := simdata.Generate(simdata.Tiny())
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Scheme = c.scheme
+		cfg.Pattern = c.pattern
+		cfg.ContrailNodes = 2
+		rep, err := core.Run(ds, cfg)
+		if err != nil {
+			return fmt.Errorf("bench run %s: %w", c.name, err)
+		}
+		doc.Runs = append(doc.Runs, benchRun{Name: c.name, Snapshot: rep.Snapshot})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -13,10 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"rnascale"
+	"rnascale/internal/obs"
 )
 
 func main() {
@@ -33,6 +35,9 @@ func main() {
 		shards     = flag.Int("preprocess-shards", 1, "data-parallel pre-processing shard count")
 		planOnly   = flag.Bool("plan", false, "predict stage TTCs and cost, then exit without running")
 		verbose    = flag.Bool("v", false, "print per-assembly details and the pilot timeline")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file (- for stdout)")
+		metricsOut = flag.String("metrics", "", "write the run's metrics in Prometheus text format to this file (- for stdout)")
+		spans      = flag.Bool("spans", false, "print the run's span tree after the summary")
 	)
 	flag.Parse()
 
@@ -78,7 +83,23 @@ func main() {
 		fmt.Println(" ", plan)
 		return
 	}
+	o := obs.New()
+	cfg.Obs = o
 	rep, err := rnascale.Run(ds, cfg)
+	if *traceOut != "" {
+		if werr := writeTo(*traceOut, o.Tracer.WriteChromeTrace); werr != nil {
+			fatal(werr)
+		}
+	}
+	if *metricsOut != "" {
+		if werr := writeTo(*metricsOut, o.Metrics.WritePrometheus); werr != nil {
+			fatal(werr)
+		}
+	}
+	if *spans {
+		fmt.Println("span tree:")
+		o.Tracer.WriteTree(os.Stdout)
+	}
 	if rep != nil {
 		fmt.Print(rep.Summary())
 		if *verbose {
@@ -108,6 +129,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// writeTo streams an export to a file or, for "-", stdout.
+func writeTo(path string, render func(w io.Writer) error) error {
+	if path == "-" {
+		return render(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func splitList(s string) []string {

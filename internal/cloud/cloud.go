@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 
+	"rnascale/internal/obs"
 	"rnascale/internal/vclock"
 )
 
@@ -154,6 +155,7 @@ type Provider struct {
 	order   []string // VM IDs in launch order, for deterministic reports
 	nextID  int
 	boots   int // RunInstances calls, for fault injection
+	metrics *obs.Registry
 }
 
 // NewProvider returns a provider over the given clock with the default
@@ -219,11 +221,13 @@ func (p *Provider) RunInstances(typeName string, count int) ([]*VM, error) {
 		return nil, fmt.Errorf("cloud: RunInstances count %d", count)
 	}
 	if p.opts.MaxInstances > 0 && p.active()+count > p.opts.MaxInstances {
+		p.countBootFailure(typeName)
 		return nil, fmt.Errorf("cloud: instance limit exceeded: %d active + %d requested > %d",
 			p.active(), count, p.opts.MaxInstances)
 	}
 	p.boots++
 	if p.opts.FailBoot != nil && p.opts.FailBoot(p.boots) {
+		p.countBootFailure(typeName)
 		return nil, fmt.Errorf("cloud: insufficient instance capacity for %s (boot #%d)", typeName, p.boots)
 	}
 	now := p.clock.Now()
@@ -241,6 +245,7 @@ func (p *Provider) RunInstances(typeName string, count int) ([]*VM, error) {
 		p.order = append(p.order, vm.ID)
 		vms[i] = vm
 	}
+	p.countBoot(typeName, count)
 	return vms, nil
 }
 
@@ -272,6 +277,7 @@ func (p *Provider) Terminate(vms ...*VM) {
 		}
 		vm.state = VMTerminated
 		vm.TerminatedAt = vclock.Max(now, vm.RunningAt)
+		p.countTermination(vm)
 	}
 }
 
@@ -300,6 +306,7 @@ func (p *Provider) Running() []*VM {
 func (p *Provider) UploadFromLocal(n int64) vclock.Duration {
 	d := p.opts.Ingress.Transfer(n)
 	p.clock.Advance(d)
+	p.countIngress(n)
 	return d
 }
 

@@ -1,0 +1,71 @@
+package cloud
+
+import (
+	"math"
+
+	"rnascale/internal/obs"
+	"rnascale/internal/vclock"
+)
+
+// Metric names the provider emits (see the Observability section of
+// README.md for the full rnascale_* naming scheme).
+const (
+	MetricVMBoots      = "rnascale_vm_boots_total"
+	MetricVMTerminated = "rnascale_vm_terminations_total"
+	MetricVMHours      = "rnascale_vm_hours_billed_total"
+	MetricCostUSD      = "rnascale_cost_usd_total"
+	MetricIngressBytes = "rnascale_ingress_bytes_total"
+	MetricBootFailures = "rnascale_vm_boot_failures_total"
+)
+
+// SetMetrics attaches a metric registry; the provider then emits
+// lifecycle and billing counters on every API call. A nil registry
+// detaches instrumentation.
+func (p *Provider) SetMetrics(reg *obs.Registry) { p.metrics = reg }
+
+// countBoot records a successful RunInstances call.
+func (p *Provider) countBoot(typeName string, count int) {
+	if p.metrics == nil {
+		return
+	}
+	p.metrics.Counter(MetricVMBoots, "VMs booted, by instance type.",
+		obs.Labels{"type": typeName}).Add(float64(count))
+}
+
+// countBootFailure records a rejected RunInstances call.
+func (p *Provider) countBootFailure(typeName string) {
+	if p.metrics == nil {
+		return
+	}
+	p.metrics.Counter(MetricBootFailures, "RunInstances calls rejected (capacity or account limits).",
+		obs.Labels{"type": typeName}).Inc()
+}
+
+// countTermination records a VM's final bill when it terminates. The
+// hours follow the provider's billing mode (fractional or rounded),
+// matching Bill.
+func (p *Provider) countTermination(vm *VM) {
+	if p.metrics == nil {
+		return
+	}
+	// TerminatedAt can sit past the current clock (a VM killed while
+	// still pending bills through its boot); evaluate at whichever is
+	// later so the counter matches the final Bill.
+	hours := vm.BilledHours(vclock.Max(p.clock.Now(), vm.TerminatedAt))
+	if p.opts.HourlyRounding {
+		hours = math.Ceil(hours)
+	}
+	labels := obs.Labels{"type": vm.Type.Name}
+	p.metrics.Counter(MetricVMTerminated, "VMs terminated, by instance type.", labels).Inc()
+	p.metrics.Counter(MetricVMHours, "Instance-hours billed for terminated VMs.", labels).Add(hours)
+	p.metrics.Counter(MetricCostUSD, "USD billed for terminated VMs.", labels).Add(hours * vm.Type.PricePerHour)
+}
+
+// countIngress records bytes uploaded from the local server.
+func (p *Provider) countIngress(n int64) {
+	if p.metrics == nil || n <= 0 {
+		return
+	}
+	p.metrics.Counter(MetricIngressBytes, "Bytes uploaded from the local server into the cloud.",
+		nil).Add(float64(n))
+}

@@ -31,6 +31,7 @@ import (
 	"rnascale/internal/detonate"
 	"rnascale/internal/diffexpr"
 	"rnascale/internal/merge"
+	"rnascale/internal/obs"
 	"rnascale/internal/pilot"
 	"rnascale/internal/preprocess"
 	"rnascale/internal/quant"
@@ -145,6 +146,10 @@ type Config struct {
 	EvaluateAgainstTruth bool
 	// Cloud overrides the provider options (zero value = defaults).
 	Cloud *cloud.Options
+	// Obs, when non-nil, receives the run's spans and metrics; nil
+	// gets a private bundle, reachable afterwards via Pipeline.Obs or
+	// Report.Snapshot.
+	Obs *obs.Obs
 }
 
 // DefaultConfig reproduces the paper's sample-run setup: scheme S2,
@@ -242,6 +247,9 @@ type Report struct {
 	// Events is the pilot framework's full state-change history
 	// (render with Timeline).
 	Events []pilot.Event
+	// Snapshot folds the run's spans and metrics into per-stage
+	// TTC/cost tables (see internal/obs).
+	Snapshot *obs.RunSnapshot
 }
 
 // Timeline renders the run's pilot/unit event history as a text

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"strings"
 
 	"rnascale/internal/assembler"
 	"rnascale/internal/cloud"
@@ -10,6 +11,7 @@ import (
 	"rnascale/internal/detonate"
 	"rnascale/internal/diffexpr"
 	"rnascale/internal/merge"
+	"rnascale/internal/obs"
 	"rnascale/internal/pilot"
 	"rnascale/internal/preprocess"
 	"rnascale/internal/quant"
@@ -25,6 +27,13 @@ type Pipeline struct {
 	clock    *vclock.Clock
 	provider *cloud.Provider
 	pm       *pilot.Manager
+
+	// o is the run's observability bundle (never nil: New creates one
+	// when the config does not supply it); bridge mirrors the pilot
+	// state store into spans; runSpan is the root of the span tree.
+	o       *obs.Obs
+	bridge  *pilot.SpanBridge
+	runSpan *obs.Span
 }
 
 // New builds a pipeline with a fresh simulated cloud.
@@ -35,18 +44,32 @@ func New(cfg Config) *Pipeline {
 	if cfg.Cloud != nil {
 		copts = *cfg.Cloud
 	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New()
+	}
 	provider := cloud.NewProvider(clock, copts)
+	provider.SetMetrics(o.Metrics)
+	store := pilot.NewStateStore()
+	pm := pilot.NewManager(provider, store, cluster.DefaultOptions())
+	pm.SetObs(o)
 	return &Pipeline{
 		cfg:      cfg,
 		clock:    clock,
 		provider: provider,
-		pm:       pilot.NewManager(provider, pilot.NewStateStore(), cluster.DefaultOptions()),
+		pm:       pm,
+		o:        o,
+		bridge:   pilot.NewSpanBridge(store, o),
 	}
 }
 
 // Provider exposes the simulated cloud (for inspection in tests and
 // benches).
 func (pl *Pipeline) Provider() *cloud.Provider { return pl.provider }
+
+// Obs exposes the pipeline's observability bundle (tracer + metric
+// registry).
+func (pl *Pipeline) Obs() *obs.Obs { return pl.o }
 
 // Run executes the full workflow over a dataset and returns the
 // report. On stage failure the partial report is returned along with
@@ -67,9 +90,18 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 		}
 	}
 
+	pl.runSpan = pl.o.Tracer.StartSpan(nil, obs.KindRun, "run", pl.clock.Now())
+	pl.runSpan.SetAttr("scheme", cfg.Scheme.String())
+	pl.runSpan.SetAttr("pattern", cfg.Pattern.String())
+	pl.runSpan.SetAttr("assemblers", strings.Join(cfg.Assemblers, ","))
+	pl.runSpan.SetAttr("profile", ds.Profile.Name)
+
 	// --- Stage 0: upload the raw data from the local server ---
 	t0 := pl.clock.Now()
+	xferScope := pl.beginStage("transfer")
+	xferScope.attr("bytes", fmt.Sprintf("%d", fs.SeqDataBytes))
 	pl.provider.UploadFromLocal(fs.SeqDataBytes)
+	xferScope.end()
 	rep.Stages = append(rep.Stages, StageReport{
 		Name: "transfer", Start: t0, End: pl.clock.Now(),
 		Note: fmt.Sprintf("%.1f GB to cloud", float64(fs.SeqDataBytes)/1e9),
@@ -102,9 +134,14 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 			paDesc.Nodes = n
 		}
 	}
+	paScope := pl.beginStage("PA")
+	paScope.attr(obs.AttrInstanceType, paType)
+	paScope.attr(obs.AttrNodes, fmt.Sprintf("%d", paDesc.Nodes))
 	pa, err := pl.pm.SubmitPilot(paDesc)
 	if err != nil {
-		return rep, fmt.Errorf("core: launching PA: %w", err)
+		err = fmt.Errorf("core: launching PA: %w", err)
+		paScope.fail(err)
+		return rep, err
 	}
 
 	// Shard the raw reads (fragment-preserving) for data-parallel
@@ -146,9 +183,11 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 	for _, u := range paUnits {
 		if u.State() != pilot.UnitDone {
 			rep.Stages = append(rep.Stages, StageReport{Name: "PA", Pilot: pa.ID, Start: paStart, End: pl.clock.Now(), Note: "FAILED"})
+			err := fmt.Errorf("core: PA pre-processing failed on %s: %w", paType, u.Err)
+			paScope.fail(err)
 			pl.teardown(pa)
 			rep.finish(pl)
-			return rep, fmt.Errorf("core: PA pre-processing failed on %s: %w", paType, u.Err)
+			return rep, err
 		}
 	}
 	cleaned := seq.ReadSet{Paired: ds.Reads.Paired}
@@ -158,10 +197,16 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 		preStats = combineStats(preStats, shardStats[s])
 	}
 	if preStats.OutputReads == 0 {
+		err := fmt.Errorf("core: pre-processing removed every read")
+		paScope.fail(err)
 		pl.teardown(pa)
 		rep.finish(pl)
-		return rep, fmt.Errorf("core: pre-processing removed every read")
+		return rep, err
 	}
+	pl.counter(MetricReadsProcessed, "Reads surviving pre-processing.", nil).
+		Add(float64(preStats.OutputReads))
+	pl.counter(MetricBasesProcessed, "Bases surviving pre-processing.", nil).
+		Add(float64(preStats.OutputBases))
 	var fq bytes.Buffer
 	if err := seq.WriteFastq(&fq, cleaned.Reads); err != nil {
 		return rep, err
@@ -170,6 +215,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 		return rep, err
 	}
 	rep.PreStats = preStats
+	paScope.end()
 	rep.Stages = append(rep.Stages, StageReport{
 		Name: "PA", Pilot: pa.ID, Start: paStart, End: pl.clock.Now(),
 		Note: preStats.String(),
@@ -185,6 +231,9 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 	// --- PB: multiple-k-mer, multi-assembler transcript assembly ---
 	nodes := pl.assemblyNodes(kmers)
 	rep.AssemblyNodes = nodes
+	pbScope := pl.beginStage("PB")
+	pbScope.attr("kmers", fmt.Sprint(kmers))
+	pbScope.attr(obs.AttrNodes, fmt.Sprintf("%d", nodes))
 	pb, transferNote, err := pl.nextPilot("PB", pa, nodes, func() (string, error) {
 		// Instance choice for a fresh (S1) PB pilot.
 		if cfg.Pattern != DistributedDynamic {
@@ -198,9 +247,12 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 		return it.Name, nil
 	}, fs.PostPreprocessBytes, pa.Cluster.Store())
 	if err != nil {
+		err = fmt.Errorf("core: launching PB: %w", err)
+		pbScope.fail(err)
 		rep.finish(pl)
-		return rep, fmt.Errorf("core: launching PB: %w", err)
+		return rep, err
 	}
+	pbScope.attr(obs.AttrInstanceType, pb.Cluster.InstanceType().Name)
 
 	pbStart := pl.clock.Now()
 	pbUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
@@ -290,9 +342,11 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 	for _, u := range pbUnits {
 		if u.State() != pilot.UnitDone {
 			rep.Stages = append(rep.Stages, StageReport{Name: "PB", Pilot: pb.ID, Start: pbStart, End: pl.clock.Now(), Note: "FAILED"})
+			err := fmt.Errorf("core: PB unit %s failed: %w", u.ID, u.Err)
+			pbScope.fail(err)
 			pl.teardown(pa, pb)
 			rep.finish(pl)
-			return rep, fmt.Errorf("core: PB unit %s failed: %w", u.ID, u.Err)
+			return rep, err
 		}
 		out := u.Result.Output.(asmOutput)
 		rep.Assemblies = append(rep.Assemblies, AssemblyReport{
@@ -300,7 +354,15 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 			Contigs: len(out.res.Contigs), N50: out.res.N50,
 			TTC: out.res.TTC, MemoryGB: out.res.PeakMemoryGBPerNode,
 		})
+		if out.res.Messages > 0 || out.res.BytesSent > 0 {
+			labels := obs.Labels{"assembler": out.name}
+			pl.counter(MetricAssemblerMessages, "MPI/MapReduce messages sent by distributed assemblers.", labels).
+				Add(float64(out.res.Messages))
+			pl.counter(MetricAssemblerBytesSent, "MPI/MapReduce bytes sent by distributed assemblers.", labels).
+				Add(float64(out.res.BytesSent))
+		}
 	}
+	pbScope.end()
 	rep.Stages = append(rep.Stages, StageReport{
 		Name: "PB", Pilot: pb.ID, Start: pbStart, End: pl.clock.Now(),
 		Note: fmt.Sprintf("%d assembly jobs on %d nodes%s", len(pbUnits), nodes, transferNote),
@@ -314,6 +376,8 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 			pbOutBytes += int64(len(c.Seq)) + int64(len(c.ID)) + 2
 		}
 	}
+	pcScope := pl.beginStage("PC")
+	pcScope.attr(obs.AttrNodes, "1")
 	pc, pcTransferNote, err := pl.nextPilot("PC", pb, 1, func() (string, error) {
 		if cfg.Pattern != DistributedDynamic {
 			return cfg.InstanceType, nil
@@ -325,9 +389,12 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 		return it.Name, nil
 	}, pbOutBytes, pb.Cluster.Store())
 	if err != nil {
+		err = fmt.Errorf("core: launching PC: %w", err)
+		pcScope.fail(err)
 		rep.finish(pl)
-		return rep, fmt.Errorf("core: launching PC: %w", err)
+		return rep, err
 	}
+	pcScope.attr(obs.AttrInstanceType, pc.Cluster.InstanceType().Name)
 	pcStart := pl.clock.Now()
 	pcUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
 	if err := pcUM.AddPilots(pc); err != nil {
@@ -422,10 +489,13 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 	}
 	if st := pcUnits[0].State(); st != pilot.UnitDone {
 		rep.Stages = append(rep.Stages, StageReport{Name: "PC", Pilot: pc.ID, Start: pcStart, End: pl.clock.Now(), Note: "FAILED"})
+		err := fmt.Errorf("core: PC post-processing failed: %w", pcUnits[0].Err)
+		pcScope.fail(err)
 		pl.teardown(pa, pb, pc)
 		rep.finish(pl)
-		return rep, fmt.Errorf("core: PC post-processing failed: %w", pcUnits[0].Err)
+		return rep, err
 	}
+	pcScope.end()
 	rep.Stages = append(rep.Stages, StageReport{
 		Name: "PC", Pilot: pc.ID, Start: pcStart, End: pl.clock.Now(),
 		Note: rep.MergeStats.String() + pcTransferNote,
@@ -548,12 +618,14 @@ func (pl *Pipeline) teardown(ps ...*pilot.Pilot) {
 	pl.provider.TerminateAll()
 }
 
-// finish stamps the report's totals.
+// finish stamps the report's totals and folds the observability state
+// into the snapshot.
 func (r *Report) finish(pl *Pipeline) {
 	r.TTC = vclock.Duration(pl.clock.Now())
 	r.CostUSD = pl.provider.TotalCost()
 	r.Bill = pl.provider.Bill()
 	r.Events = pl.pm.Store().History()
+	pl.finishObs(r)
 }
 
 // copyStore copies every file between shared stores.

@@ -10,10 +10,14 @@
 //	GET  /api/runs              list runs and statuses
 //	GET  /api/runs/{id}         one run's report
 //	GET  /api/runs/{id}/transcripts   assembled transcripts (FASTA)
+//	GET  /api/runs/{id}/trace   Chrome trace_event JSON for the run
+//	GET  /api/metrics           Prometheus text exposition
 //
 // Submitted runs execute asynchronously with a bounded worker pool;
-// each run gets its own simulated cloud, so concurrent users cannot
-// interfere.
+// each run gets its own simulated cloud (and its own span tree and
+// metric registry), so concurrent users cannot interfere. The
+// /api/metrics endpoint serves the server-level registry: gateway
+// counters plus each finished run's snapshot gauges.
 package gateway
 
 import (
@@ -27,8 +31,22 @@ import (
 	"rnascale/internal/assembler"
 	_ "rnascale/internal/assembler/all" // make every assembler submittable
 	"rnascale/internal/core"
+	"rnascale/internal/obs"
 	"rnascale/internal/seq"
 	"rnascale/internal/simdata"
+)
+
+// Gateway-level metric names (the per-run rnascale_* metrics live in
+// each run's own registry, reachable via its trace/snapshot).
+const (
+	// MetricRuns counts submitted runs by terminal status.
+	MetricRuns = "rnascale_gateway_runs_total"
+	// MetricRunsInflight gauges queued-or-running runs.
+	MetricRunsInflight = "rnascale_gateway_runs_inflight"
+	// MetricRunTTC gauges each finished run's TTC, labelled by run id.
+	MetricRunTTC = "rnascale_gateway_run_ttc_seconds"
+	// MetricRunCost gauges each finished run's bill, labelled by run id.
+	MetricRunCost = "rnascale_gateway_run_cost_usd"
 )
 
 // RunRequest is the submission payload.
@@ -79,6 +97,7 @@ type RunView struct {
 type run struct {
 	view   RunView
 	report *core.Report
+	obs    *obs.Obs
 }
 
 // Server is the gateway. Create with NewServer and mount via Handler.
@@ -89,6 +108,7 @@ type Server struct {
 	nextID  int
 	workers chan struct{}
 	wg      sync.WaitGroup
+	metrics *obs.Registry
 }
 
 // NewServer returns a gateway executing at most maxConcurrent runs at
@@ -100,8 +120,12 @@ func NewServer(maxConcurrent int) *Server {
 	return &Server{
 		runs:    map[string]*run{},
 		workers: make(chan struct{}, maxConcurrent),
+		metrics: obs.NewRegistry(),
 	}
 }
+
+// Metrics exposes the server-level registry.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // Handler returns the HTTP handler for the API.
 func (s *Server) Handler() http.Handler {
@@ -111,6 +135,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/plans", s.handlePlan)
 	mux.HandleFunc("/api/runs", s.handleRuns)
 	mux.HandleFunc("/api/runs/", s.handleRun)
+	mux.HandleFunc("/api/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -232,7 +257,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		_ = seq.WriteFasta(w, rep.Transcripts, 80)
 		return
 	}
+	if len(parts) == 2 && parts[1] == "trace" {
+		s.mu.Lock()
+		o := rn.obs
+		s.mu.Unlock()
+		// The tracer is safe to export mid-run: unfinished spans are
+		// marked open, so a user can watch a run take shape.
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Tracer.WriteChromeTrace(w)
+		return
+	}
 	writeErr(w, http.StatusNotFound, "unknown resource")
+}
+
+// handleMetrics serves the server-level registry in the Prometheus
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
 }
 
 // handlePlan predicts a run's stage TTCs and cost without executing
@@ -275,14 +321,16 @@ func (s *Server) submit(req RunRequest) (RunView, error) {
 	if err != nil {
 		return RunView{}, err
 	}
+	cfg.Obs = obs.New()
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("run-%05d", s.nextID)
 	view := RunView{ID: id, Status: StatusQueued, Request: req}
-	rn := &run{view: view}
+	rn := &run{view: view, obs: cfg.Obs}
 	s.runs[id] = rn
 	s.order = append(s.order, id)
 	s.mu.Unlock()
+	s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(1)
 
 	s.wg.Add(1)
 	go func() {
@@ -304,6 +352,16 @@ func (s *Server) submit(req RunRequest) (RunView, error) {
 
 // setStatus updates a run's view under the lock.
 func (s *Server) setStatus(id string, status RunStatus, rep *core.Report, errMsg string) {
+	if status == StatusDone || status == StatusFailed {
+		s.metrics.Counter(MetricRuns, "Gateway runs by terminal status.",
+			obs.Labels{"status": string(status)}).Inc()
+		s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(-1)
+	}
+	if rep != nil && status == StatusDone {
+		labels := obs.Labels{"run": id}
+		s.metrics.Gauge(MetricRunTTC, "Finished run TTC, virtual seconds.", labels).Set(rep.TTC.Seconds())
+		s.metrics.Gauge(MetricRunCost, "Finished run cloud bill, USD.", labels).Set(rep.CostUSD)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rn := s.runs[id]

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one record of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Virtual seconds map to trace microseconds, so a span of 60 virtual
+// seconds renders as 60 "ms-scale" units in the viewer — the absolute
+// scale is virtual anyway.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   *float64          `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports every span as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto. Each span gets its own
+// thread row (tid = span ID) named after the span, a complete ("X")
+// event carrying its attributes, and an instant ("i") event per span
+// event. Output is deterministic: spans in creation order, JSON map
+// keys sorted by encoding/json.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]chromeEvent, 0, 2*len(t.spans))
+	for _, s := range t.spans {
+		label := s.Kind + " " + s.Name
+		events = append(events, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: s.id,
+			Args: map[string]string{"name": label},
+		})
+		dur := float64(s.endLocked().Sub(s.Start)) * 1e6
+		args := make(map[string]string, len(s.attrs)+1)
+		for k, v := range s.attrs {
+			args[k] = v
+		}
+		if !s.ended {
+			args["open"] = "true"
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Kind, Phase: "X",
+			TS: float64(s.Start) * 1e6, Dur: &dur, PID: 1, TID: s.id,
+			Args: args,
+		})
+		for _, e := range s.events {
+			var args map[string]string
+			if e.Note != "" {
+				args = map[string]string{"note": e.Note}
+			}
+			events = append(events, chromeEvent{
+				Name: e.Name, Cat: s.Kind, Phase: "i",
+				TS: float64(e.At) * 1e6, PID: 1, TID: s.id, Scope: "t",
+				Args: args,
+			})
+		}
+	}
+	t.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

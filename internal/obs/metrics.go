@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels name one time series within a metric family. Metrics with
+// the same name but different label sets are distinct series.
+type Labels map[string]string
+
+// signature renders labels canonically ({a="1",b="2"}, sorted keys)
+// for map keys and the Prometheus exposition.
+func (l Labels) signature() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// metricKind distinguishes the three instrument types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metricKind(%d)", int(k))
+	}
+}
+
+// family is one metric name: its help, type, and series.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]any // label signature -> *Counter/*Gauge/*Histogram
+	order  []string       // signatures in first-seen order (exposition re-sorts)
+}
+
+// Registry is a set of named metrics. Safe for concurrent use; the
+// zero value is not usable, create registries with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns (creating if needed) the series for (name, labels),
+// enforcing that a name is used with a single instrument type.
+func (r *Registry) lookup(name, help string, kind metricKind, labels Labels, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]any)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	sig := labels.signature()
+	s, ok := f.series[sig]
+	if !ok {
+		s = mk()
+		f.series[sig] = s
+		f.order = append(f.order, sig)
+	}
+	return s
+}
+
+// Counter returns the monotonically increasing counter for
+// (name, labels), creating it at zero on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.lookup(name, help, kindCounter, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the settable gauge for (name, labels).
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.lookup(name, help, kindGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for (name, labels). Buckets are
+// upper bounds in ascending order; they are fixed by the first call
+// for a family (later bucket arguments are ignored). Nil buckets use
+// DefaultTimeBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if buckets == nil {
+		buckets = DefaultTimeBuckets()
+	}
+	return r.lookup(name, help, kindHistogram, labels, func() any { return newHistogram(buckets) }).(*Histogram)
+}
+
+// DefaultTimeBuckets suit virtual-time durations, which range from
+// sub-second SGE waits to multi-hour stage TTCs.
+func DefaultTimeBuckets() []float64 {
+	return []float64{1, 5, 15, 60, 300, 900, 3600, 14400, 43200}
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increases the counter; negative deltas panic (counters are
+// monotonic by definition).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("obs: counter add %v < 0", delta))
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current total.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can move both ways.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the value by delta (may be negative).
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram counts observations into cumulative buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	counts  []uint64  // per-bound (non-cumulative) counts
+	infOver uint64    // observations above the last bound
+	sum     float64
+	total   uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]uint64, len(bounds))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.total++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.infOver++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// formatValue renders a sample the way Prometheus does.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// mergeLabels renders a signature with an extra le bound appended
+// (for histogram bucket series).
+func mergeLE(sig string, le float64) string {
+	pair := fmt.Sprintf("le=%q", formatValue(le))
+	if sig == "" {
+		return "{" + pair + "}"
+	}
+	return sig[:len(sig)-1] + "," + pair + "}"
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4). Output is deterministic:
+// families sorted by name, series by label signature.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := r.families[n]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		sigs := append([]string(nil), f.order...)
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			switch m := f.series[sig].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatValue(m.Value()))
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatValue(m.Value()))
+			case *Histogram:
+				m.mu.Lock()
+				var cum uint64
+				for i, bound := range m.bounds {
+					cum += m.counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLE(sig, bound), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLE(sig, math.Inf(1)), m.total)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, sig, formatValue(m.sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, sig, m.total)
+				m.mu.Unlock()
+			}
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MetricPoint is one flattened sample, for machine-readable
+// snapshots. Histograms flatten to _sum and _count points.
+type MetricPoint struct {
+	Name   string  `json:"name"`
+	Labels Labels  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// parseSignature inverts Labels.signature (signatures are produced
+// only by that method, so the format is fixed).
+func parseSignature(sig string) Labels {
+	if sig == "" {
+		return nil
+	}
+	out := Labels{}
+	body := strings.TrimSuffix(strings.TrimPrefix(sig, "{"), "}")
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		key := body[:eq]
+		rest := body[eq+1:]
+		val, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			break
+		}
+		unq, _ := strconv.Unquote(val)
+		out[key] = unq
+		body = strings.TrimPrefix(rest[len(val):], ",")
+	}
+	return out
+}
+
+// Points flattens every series to (name, labels, value) samples,
+// sorted by name then label signature.
+func (r *Registry) Points() []MetricPoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []MetricPoint
+	for _, n := range names {
+		f := r.families[n]
+		sigs := append([]string(nil), f.order...)
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			labels := parseSignature(sig)
+			switch m := f.series[sig].(type) {
+			case *Counter:
+				out = append(out, MetricPoint{Name: f.name, Labels: labels, Value: m.Value()})
+			case *Gauge:
+				out = append(out, MetricPoint{Name: f.name, Labels: labels, Value: m.Value()})
+			case *Histogram:
+				out = append(out,
+					MetricPoint{Name: f.name + "_sum", Labels: labels, Value: m.Sum()},
+					MetricPoint{Name: f.name + "_count", Labels: labels, Value: float64(m.Count())})
+			}
+		}
+	}
+	return out
+}

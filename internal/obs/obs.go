@@ -1,0 +1,38 @@
+// Package obs is the observability substrate for rnascale: tracing
+// and metrics keyed to *virtual time* (internal/vclock), the clock
+// every simulated runtime in this repo advances.
+//
+// The paper's pipeline is "controlled and monitored via the back-end
+// database system that updates run-time information on the fly"
+// (RADICAL-Pilot's MongoDB state store); its entire evaluation is
+// TTC/cost breakdowns per stage, per matching scheme and per instance
+// type. This package turns those ad-hoc reconstructions into a
+// first-class subsystem:
+//
+//   - Tracer produces hierarchical spans (run → stage → pilot → unit)
+//     with attributes and point-in-time events, exportable as a human
+//     tree view or as Chrome trace_event JSON (load the file in
+//     chrome://tracing or https://ui.perfetto.dev).
+//   - Registry holds counters, gauges and histograms under a stable
+//     rnascale_* naming scheme, with a Prometheus-style text
+//     exposition.
+//   - RunSnapshot folds both into the per-stage TTC/cost tables of
+//     the paper's figures, as a machine-readable record.
+//
+// Everything is stdlib-only, safe for concurrent use, and
+// deterministic: exporters sort all map iteration, so two runs with
+// identical configuration produce byte-identical exports.
+package obs
+
+// Obs bundles one run's tracer and metric registry. Components that
+// accept an *Obs treat a nil receiver (or nil fields) as "observation
+// disabled" and skip instrumentation.
+type Obs struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// New returns a fresh, empty observability bundle.
+func New() *Obs {
+	return &Obs{Tracer: NewTracer(), Metrics: NewRegistry()}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// SnapshotSchema versions the RunSnapshot JSON layout.
+const SnapshotSchema = "rnascale.run-snapshot/v1"
+
+// Attribute keys the pipeline sets on spans; Snapshot folds them into
+// typed fields.
+const (
+	AttrCostUSD      = "cost_usd"
+	AttrInstanceType = "instance_type"
+	AttrNodes        = "nodes"
+)
+
+// StageStat is one row of the per-stage TTC/cost table — the unit of
+// the paper's Figs. 4 and 6–8.
+type StageStat struct {
+	Name         string            `json:"name"`
+	StartSeconds float64           `json:"startSeconds"`
+	EndSeconds   float64           `json:"endSeconds"`
+	TTCSeconds   float64           `json:"ttcSeconds"`
+	CostUSD      float64           `json:"costUSD,omitempty"`
+	InstanceType string            `json:"instanceType,omitempty"`
+	Nodes        int               `json:"nodes,omitempty"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+}
+
+// RunSnapshot is the machine-readable record of one run: the span
+// tree folded into per-stage rows plus every metric sample. It is the
+// interchange format benchtab writes across PRs to track the perf
+// trajectory.
+type RunSnapshot struct {
+	Schema     string            `json:"schema"`
+	Run        string            `json:"run,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	TTCSeconds float64           `json:"ttcSeconds"`
+	CostUSD    float64           `json:"costUSD"`
+	Stages     []StageStat       `json:"stages"`
+	Metrics    []MetricPoint     `json:"metrics,omitempty"`
+}
+
+// Snapshot folds a tracer and registry into a RunSnapshot. The first
+// root span of kind "run" provides the run identity and total TTC;
+// its direct children of kind "stage" provide the stage rows. A nil
+// tracer or registry contributes nothing.
+func Snapshot(tr *Tracer, reg *Registry) RunSnapshot {
+	snap := RunSnapshot{Schema: SnapshotSchema}
+	if tr != nil {
+		for _, root := range tr.Roots() {
+			if root.Kind != KindRun {
+				continue
+			}
+			snap.Run = root.Name
+			snap.TTCSeconds = root.Duration().Seconds()
+			snap.Attrs = attrMap(root.Attrs())
+			for _, c := range root.Children() {
+				if c.Kind != KindStage {
+					continue
+				}
+				st := StageStat{
+					Name:         c.Name,
+					StartSeconds: float64(c.Start),
+					EndSeconds:   float64(c.EndTime()),
+					TTCSeconds:   c.Duration().Seconds(),
+				}
+				attrs := attrMap(c.Attrs())
+				if v, ok := attrs[AttrCostUSD]; ok {
+					st.CostUSD, _ = strconv.ParseFloat(v, 64)
+					delete(attrs, AttrCostUSD)
+				}
+				if v, ok := attrs[AttrInstanceType]; ok {
+					st.InstanceType = v
+					delete(attrs, AttrInstanceType)
+				}
+				if v, ok := attrs[AttrNodes]; ok {
+					st.Nodes, _ = strconv.Atoi(v)
+					delete(attrs, AttrNodes)
+				}
+				if len(attrs) == 0 {
+					attrs = nil
+				}
+				st.Attrs = attrs
+				snap.CostUSD += st.CostUSD
+				snap.Stages = append(snap.Stages, st)
+			}
+			break
+		}
+	}
+	if reg != nil {
+		snap.Metrics = reg.Points()
+		for _, p := range snap.Metrics {
+			if p.Name == "rnascale_run_cost_usd" && len(p.Labels) == 0 {
+				snap.CostUSD = p.Value
+			}
+		}
+	}
+	return snap
+}
+
+// WriteJSON marshals the snapshot with stable key order and
+// indentation (encoding/json sorts map keys, so output is
+// byte-deterministic for identical inputs).
+func (s RunSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestSnapshot(t *testing.T) {
+	o := buildScenario()
+	snap := Snapshot(o.Tracer, o.Metrics)
+	if snap.Schema != SnapshotSchema || snap.Run != "run-00001" {
+		t.Fatalf("header: %+v", snap)
+	}
+	if snap.TTCSeconds != 1100 {
+		t.Errorf("ttc: %v", snap.TTCSeconds)
+	}
+	if len(snap.Stages) != 2 {
+		t.Fatalf("stages: %+v", snap.Stages)
+	}
+	pa := snap.Stages[1]
+	if pa.Name != "PA" || pa.TTCSeconds != 885 || pa.CostUSD != 0.12 ||
+		pa.InstanceType != "c3.2xlarge" || pa.Nodes != 1 {
+		t.Errorf("PA row: %+v", pa)
+	}
+	// The rnascale_run_cost_usd gauge overrides the attr-summed cost.
+	if snap.CostUSD != 0.12 {
+		t.Errorf("cost: %v", snap.CostUSD)
+	}
+	if len(snap.Metrics) == 0 {
+		t.Error("metrics missing from snapshot")
+	}
+	if snap.Attrs["scheme"] != "S2" {
+		t.Errorf("run attrs: %+v", snap.Attrs)
+	}
+}
+
+func TestSnapshotNilInputs(t *testing.T) {
+	snap := Snapshot(nil, nil)
+	if snap.Schema != SnapshotSchema || len(snap.Stages) != 0 || len(snap.Metrics) != 0 {
+		t.Errorf("nil snapshot: %+v", snap)
+	}
+}
+
+// golden compares got against testdata/<name>, rewriting with
+// -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/obs -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestExportsDeterministicAndGolden is the repo's byte-determinism
+// contract: identical inputs produce byte-identical exports, pinned
+// by golden files.
+func TestExportsDeterministicAndGolden(t *testing.T) {
+	render := func() (trace, prom, tree, snap []byte) {
+		o := buildScenario()
+		var a, b, c, d bytes.Buffer
+		if err := o.Tracer.WriteChromeTrace(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Metrics.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Tracer.WriteTree(&c); err != nil {
+			t.Fatal(err)
+		}
+		if err := Snapshot(o.Tracer, o.Metrics).WriteJSON(&d); err != nil {
+			t.Fatal(err)
+		}
+		return a.Bytes(), b.Bytes(), c.Bytes(), d.Bytes()
+	}
+	t1, p1, tr1, s1 := render()
+	t2, p2, tr2, s2 := render()
+	for _, pair := range []struct {
+		name      string
+		got, want []byte
+	}{
+		{"chrome trace", t1, t2}, {"prometheus", p1, p2}, {"tree", tr1, tr2}, {"snapshot", s1, s2},
+	} {
+		if !bytes.Equal(pair.got, pair.want) {
+			t.Errorf("%s export not byte-identical across runs", pair.name)
+		}
+	}
+	golden(t, "trace.golden.json", t1)
+	golden(t, "metrics.golden.txt", p1)
+	golden(t, "tree.golden.txt", tr1)
+	golden(t, "snapshot.golden.json", s1)
+}

@@ -5,6 +5,8 @@ import (
 
 	"rnascale/internal/cloud"
 	"rnascale/internal/cluster"
+	"rnascale/internal/obs"
+	"rnascale/internal/sge"
 	"rnascale/internal/vclock"
 )
 
@@ -56,6 +58,7 @@ type Manager struct {
 	copts    cluster.Options
 	pilots   []*Pilot
 	nextID   int
+	obs      *obs.Obs
 }
 
 // NewManager returns a pilot manager over the given provider and
@@ -66,6 +69,22 @@ func NewManager(p *cloud.Provider, store *StateStore, copts cluster.Options) *Ma
 
 // Store exposes the shared state store.
 func (m *Manager) Store() *StateStore { return m.store }
+
+// SetObs attaches an observability bundle: every pilot submitted
+// afterwards gets its SGE queue instrumented with the
+// MetricSGEQueueWait histogram.
+func (m *Manager) SetObs(o *obs.Obs) { m.obs = o }
+
+// instrumentScheduler hooks a freshly built cluster's batch queue
+// into the queue-wait histogram.
+func (m *Manager) instrumentScheduler(c *cluster.Cluster) {
+	if m.obs == nil || m.obs.Metrics == nil || c == nil {
+		return
+	}
+	h := m.obs.Metrics.Histogram(MetricSGEQueueWait,
+		"SGE job queue wait (submit to start), virtual seconds.", nil, nil)
+	c.Scheduler().SetObserver(func(j *sge.Job) { h.Observe(j.QueueWait().Seconds()) })
+}
 
 // Provider exposes the cloud provider.
 func (m *Manager) Provider() *cloud.Provider { return m.provider }
@@ -108,6 +127,7 @@ func (m *Manager) SubmitPilot(desc PilotDescription) (*Pilot, error) {
 		return nil, fmt.Errorf("pilot: launching %s: %w", id, err)
 	}
 	p.Cluster = c
+	m.instrumentScheduler(c)
 	p.ActiveAt = m.provider.Clock().Now()
 	if err := m.store.Transition(id, string(PilotActive), p.ActiveAt, "agent up"); err != nil {
 		return nil, err

@@ -121,11 +121,12 @@ func (e Event) String() string {
 // transition, enforces state-machine legality, and fans events out to
 // watchers.
 type StateStore struct {
-	mu       sync.Mutex
-	states   map[string]string // entity ID -> current state
-	kinds    map[string]EntityKind
-	history  []Event
-	watchers []chan Event
+	mu        sync.Mutex
+	states    map[string]string // entity ID -> current state
+	kinds     map[string]EntityKind
+	history   []Event
+	watchers  []chan Event
+	observers []func(Event)
 }
 
 // NewStateStore returns an empty store.
@@ -176,6 +177,9 @@ func (s *StateStore) Transition(id string, to string, at vclock.Time, note strin
 // emit records and fans out; callers hold s.mu.
 func (s *StateStore) emit(e Event) {
 	s.history = append(s.history, e)
+	for _, fn := range s.observers {
+		fn(e)
+	}
 	for _, w := range s.watchers {
 		select {
 		case w <- e:
@@ -197,6 +201,16 @@ func (s *StateStore) History() []Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]Event(nil), s.history...)
+}
+
+// Subscribe registers a synchronous observer invoked with every
+// future event, in order and without loss — unlike Watch, which may
+// drop under backpressure. The callback runs with the store's lock
+// held, so it must not call back into the store.
+func (s *StateStore) Subscribe(fn func(Event)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observers = append(s.observers, fn)
 }
 
 // Watch returns a channel receiving future events (buffered; events

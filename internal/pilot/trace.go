@@ -77,6 +77,15 @@ func RenderTimeline(events []Event, width int) string {
 			bar[i] = ' '
 		}
 		s, e := pos(l.first), pos(l.last)
+		if s == e {
+			// A single-instant lane needs two cells, or the closing
+			// bracket overwrites the opening one.
+			if e < width-1 {
+				e++
+			} else {
+				s--
+			}
+		}
 		for i := s; i <= e; i++ {
 			bar[i] = '='
 		}

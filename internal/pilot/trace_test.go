@@ -37,11 +37,54 @@ func TestRenderTimelineDegenerate(t *testing.T) {
 	if out := RenderTimeline(nil, 40); !strings.Contains(out, "no events") {
 		t.Errorf("empty: %q", out)
 	}
-	// Single instantaneous event and tiny width do not panic.
-	out := RenderTimeline([]Event{{Kind: KindUnit, ID: "u", To: "NEW", At: 0}}, 1)
-	if !strings.Contains(out, "u") {
-		t.Errorf("degenerate: %q", out)
+	if out := RenderTimeline([]Event{}, 40); !strings.Contains(out, "no events") {
+		t.Errorf("empty slice: %q", out)
 	}
+
+	// Width below the minimum clamps to 20 columns.
+	out := RenderTimeline([]Event{
+		{Kind: KindUnit, ID: "u", To: "NEW", At: 0},
+		{Kind: KindUnit, ID: "u", From: "NEW", To: "DONE", At: 100},
+	}, 1)
+	lane := laneFor(t, out, "u")
+	if got := strings.LastIndexByte(lane, '|') - strings.IndexByte(lane, '|') - 1; got != 20 {
+		t.Errorf("clamped bar width %d, want 20:\n%s", got, out)
+	}
+
+	// A single instantaneous event (span <= 0) still renders a lane
+	// with both brackets, not just a closing one.
+	out = RenderTimeline([]Event{{Kind: KindUnit, ID: "u", To: "NEW", At: 0}}, 40)
+	lane = laneFor(t, out, "u")
+	if !strings.Contains(lane, "[") || !strings.Contains(lane, "]") {
+		t.Errorf("instant lane lost a bracket: %q", lane)
+	}
+	if strings.Index(lane, "[") >= strings.Index(lane, "]") {
+		t.Errorf("brackets out of order: %q", lane)
+	}
+
+	// Two lanes ending at the same last column keep both brackets too.
+	out = RenderTimeline([]Event{
+		{Kind: KindPilot, ID: "p", To: "NEW", At: 0},
+		{Kind: KindPilot, ID: "p", From: "NEW", To: "DONE", At: 1000},
+		{Kind: KindUnit, ID: "u", To: "NEW", At: 999},
+		{Kind: KindUnit, ID: "u", From: "NEW", To: "DONE", At: 1000},
+	}, 40)
+	lane = laneFor(t, out, "u")
+	if !strings.Contains(lane, "[") || !strings.Contains(lane, "]") {
+		t.Errorf("end-of-chart lane lost a bracket: %q", lane)
+	}
+}
+
+// laneFor extracts the rendered swimlane for an entity ID.
+func laneFor(t *testing.T, out, id string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, id+" ") {
+			return line
+		}
+	}
+	t.Fatalf("no lane for %q in:\n%s", id, out)
+	return ""
 }
 
 func TestRenderTimelineFromRealRun(t *testing.T) {

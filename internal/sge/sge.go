@@ -138,10 +138,20 @@ func (j *Job) Nodes() []string {
 
 // Scheduler is the batch queue. It is not safe for concurrent use.
 type Scheduler struct {
-	nodes  []*node
-	jobs   []*Job
-	nextID int
+	nodes    []*node
+	jobs     []*Job
+	nextID   int
+	observer func(*Job)
 }
+
+// SetObserver registers a callback invoked synchronously with every
+// job the moment it is scheduled (placement decided). Observability
+// layers use it to record queue-wait and placement metrics without a
+// parallel accounting path. A nil fn detaches the observer.
+func (s *Scheduler) SetObserver(fn func(*Job)) { s.observer = fn }
+
+// QueueWait reports how long the job sat queued before starting.
+func (j *Job) QueueWait() vclock.Duration { return j.Start.Sub(j.Submit) }
 
 // New creates a scheduler over the given hosts, all available from
 // time 0.
@@ -248,6 +258,9 @@ func (s *Scheduler) Submit(spec JobSpec, at vclock.Time) (*Job, error) {
 	s.nextID++
 	job := &Job{ID: s.nextID, Spec: spec, Submit: at, Start: start, End: end, SlotsByNode: byNode}
 	s.jobs = append(s.jobs, job)
+	if s.observer != nil {
+		s.observer(job)
+	}
 	return job, nil
 }
 
