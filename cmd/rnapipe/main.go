@@ -38,6 +38,8 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file (- for stdout)")
 		metricsOut = flag.String("metrics", "", "write the run's metrics in Prometheus text format to this file (- for stdout)")
 		spans      = flag.Bool("spans", false, "print the run's span tree after the summary")
+		faultSpec  = flag.String("faults", "", `fault-injection spec, e.g. "crash:p=0.1,after=600;slowxfer:x=0.5"`)
+		faultSeed  = flag.Uint64("seed", 1, "fault-injection PRNG seed (same seed replays identically)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,14 @@ func main() {
 		cfg.Pattern = rnascale.DistributedDynamic
 	default:
 		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+	if *faultSpec != "" {
+		plan, err := rnascale.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.FaultPlan = plan
+		cfg.FaultSeed = *faultSeed
 	}
 
 	fmt.Printf("rnapipe: %s (%d reads, %d transcripts ground truth)\n",
@@ -120,6 +130,9 @@ func main() {
 		}
 		if rep.Metrics != nil {
 			fmt.Printf("quality vs ground truth: %v\n", rep.Metrics)
+		}
+		if cfg.FaultPlan != nil {
+			fmt.Printf("fault recovery (seed %d): %v\n", *faultSeed, rep.Recovery)
 		}
 		if *verbose {
 			fmt.Println("\npilot timeline:")

@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 
+	"rnascale/internal/faults"
 	"rnascale/internal/obs"
 	"rnascale/internal/vclock"
 )
@@ -82,7 +83,11 @@ type VM struct {
 	LaunchedAt   vclock.Time // when the boot request was made
 	RunningAt    vclock.Time // LaunchedAt + boot latency
 	TerminatedAt vclock.Time // meaningful only once terminated
-	state        VMState
+	// InterruptedAt/InterruptReason record an injected interruption
+	// (crash or reclamation) once it strikes; zero otherwise.
+	InterruptedAt   vclock.Time
+	InterruptReason string
+	state           VMState
 }
 
 // State reports the lifecycle state of the VM as of time t.
@@ -132,6 +137,11 @@ type Options struct {
 	// fault-injection tests ("InsufficientInstanceCapacity" in EC2
 	// terms).
 	FailBoot func(bootOrdinal int) bool
+	// Faults, when non-nil, drives seed-deterministic fault injection:
+	// injected boot capacity errors, scheduled VM interruptions (crash
+	// or spot reclamation) and degraded ingress transfers (see
+	// internal/faults).
+	Faults *faults.Injector
 }
 
 // DefaultOptions reflect the environment calibrated from the paper's
@@ -156,16 +166,40 @@ type Provider struct {
 	nextID  int
 	boots   int // RunInstances calls, for fault injection
 	metrics *obs.Registry
+
+	// interruptions holds fault-plan-scheduled VM losses in launch
+	// order; interruptByVM indexes them by VM ID.
+	interruptions []*Interruption
+	interruptByVM map[string]*Interruption
+}
+
+// Interruption is a scheduled involuntary VM loss (an injected crash
+// or a spot-style reclamation). It exists from the VM's launch; it
+// takes effect — terminating the VM — only when applied, which is how
+// the simulation discovers a failure "after the fact", as a pilot
+// polling a dead node would.
+type Interruption struct {
+	VM *VM
+	// At is the virtual time the VM dies.
+	At vclock.Time
+	// Class is the fault class (faults.ClassCrash or ClassReclaim).
+	Class faults.Class
+	// NoticeAt is when the advance warning becomes visible (reclaim
+	// rules carry a notice lead; crashes give none, NoticeAt == At).
+	NoticeAt vclock.Time
+	// Applied reports whether the loss has been acted on.
+	Applied bool
 }
 
 // NewProvider returns a provider over the given clock with the default
 // catalogue.
 func NewProvider(clock *vclock.Clock, opts Options) *Provider {
 	p := &Provider{
-		clock:   clock,
-		opts:    opts,
-		catalog: make(map[string]InstanceType),
-		vms:     make(map[string]*VM),
+		clock:         clock,
+		opts:          opts,
+		catalog:       make(map[string]InstanceType),
+		vms:           make(map[string]*VM),
+		interruptByVM: make(map[string]*Interruption),
 	}
 	for _, it := range DefaultCatalog() {
 		p.catalog[it.Name] = it
@@ -178,6 +212,10 @@ func (p *Provider) Clock() *vclock.Clock { return p.clock }
 
 // Options exposes the provider configuration.
 func (p *Provider) Options() Options { return p.opts }
+
+// Faults exposes the provider's fault injector (nil when no fault
+// plan is configured).
+func (p *Provider) Faults() *faults.Injector { return p.opts.Faults }
 
 // RegisterType adds or replaces a catalogue entry.
 func (p *Provider) RegisterType(it InstanceType) error {
@@ -221,14 +259,18 @@ func (p *Provider) RunInstances(typeName string, count int) ([]*VM, error) {
 		return nil, fmt.Errorf("cloud: RunInstances count %d", count)
 	}
 	if p.opts.MaxInstances > 0 && p.active()+count > p.opts.MaxInstances {
-		p.countBootFailure(typeName)
+		p.countBootFailure(typeName, BootFailLimit)
 		return nil, fmt.Errorf("cloud: instance limit exceeded: %d active + %d requested > %d",
 			p.active(), count, p.opts.MaxInstances)
 	}
 	p.boots++
 	if p.opts.FailBoot != nil && p.opts.FailBoot(p.boots) {
-		p.countBootFailure(typeName)
+		p.countBootFailure(typeName, BootFailCapacity)
 		return nil, fmt.Errorf("cloud: insufficient instance capacity for %s (boot #%d)", typeName, p.boots)
+	}
+	if p.opts.Faults.BootFails(p.boots, typeName, p.clock.Now()) {
+		p.countBootFailure(typeName, BootFailInjected)
+		return nil, fmt.Errorf("cloud: insufficient instance capacity for %s (injected, boot #%d)", typeName, p.boots)
 	}
 	now := p.clock.Now()
 	vms := make([]*VM, count)
@@ -244,6 +286,14 @@ func (p *Provider) RunInstances(typeName string, count int) ([]*VM, error) {
 		p.vms[vm.ID] = vm
 		p.order = append(p.order, vm.ID)
 		vms[i] = vm
+		if at, class, notice, ok := p.opts.Faults.VMInterruption(vm.ID, p.nextID, vm.RunningAt); ok {
+			iv := &Interruption{VM: vm, At: at, Class: class, NoticeAt: at}
+			if notice > 0 && at.Add(-notice) > vm.LaunchedAt {
+				iv.NoticeAt = at.Add(-notice)
+			}
+			p.interruptions = append(p.interruptions, iv)
+			p.interruptByVM[vm.ID] = iv
+		}
 	}
 	p.countBoot(typeName, count)
 	return vms, nil
@@ -268,17 +318,84 @@ func (p *Provider) Describe(id string) (*VM, error) {
 }
 
 // Terminate shuts down the given VMs at the current time. Terminating
-// a terminated VM is a no-op, as with EC2.
+// a terminated VM is a no-op, as with EC2. A VM whose scheduled
+// interruption already struck dies at the interruption time instead —
+// it must not bill past the moment it was lost.
 func (p *Provider) Terminate(vms ...*VM) {
 	now := p.clock.Now()
 	for _, vm := range vms {
 		if vm.state == VMTerminated {
 			continue
 		}
+		if iv, ok := p.interruptByVM[vm.ID]; ok && !iv.Applied && iv.At < now {
+			p.ApplyInterruption(iv)
+			continue
+		}
 		vm.state = VMTerminated
 		vm.TerminatedAt = vclock.Max(now, vm.RunningAt)
 		p.countTermination(vm)
 	}
+}
+
+// PendingInterruptions lists scheduled-but-unapplied interruptions
+// striking at or before `until`, in launch order. Callers that learn
+// of a loss (a pilot finding a dead node) apply it.
+func (p *Provider) PendingInterruptions(until vclock.Time) []*Interruption {
+	var out []*Interruption
+	for _, iv := range p.interruptions {
+		if !iv.Applied && iv.At <= until && iv.VM.state != VMTerminated {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// ApplyInterruption makes a scheduled interruption take effect: the
+// VM terminates at the interruption time (clamped to its boot) and
+// the loss is billed and counted. Returns false if the interruption
+// was already applied or the VM already terminated.
+func (p *Provider) ApplyInterruption(iv *Interruption) bool {
+	if iv == nil || iv.Applied {
+		return false
+	}
+	iv.Applied = true
+	vm := iv.VM
+	if vm.state == VMTerminated {
+		return false
+	}
+	vm.state = VMTerminated
+	vm.TerminatedAt = vclock.Max(iv.At, vm.RunningAt)
+	vm.InterruptedAt = vm.TerminatedAt
+	vm.InterruptReason = string(iv.Class)
+	p.countTermination(vm)
+	p.countInterruption(vm, iv.Class)
+	p.opts.Faults.CountInjected(iv.Class)
+	return true
+}
+
+// Interruptions lists every scheduled interruption (applied or not)
+// in launch order.
+func (p *Provider) Interruptions() []*Interruption {
+	return append([]*Interruption(nil), p.interruptions...)
+}
+
+// InterruptionFor reports the interruption scheduled for a VM, if any.
+func (p *Provider) InterruptionFor(vmID string) (*Interruption, bool) {
+	iv, ok := p.interruptByVM[vmID]
+	return iv, ok
+}
+
+// ReclaimNotices lists unapplied interruptions whose advance warning
+// is visible by `now` — the spot reclamation notices a scheduler could
+// react to before the node actually disappears.
+func (p *Provider) ReclaimNotices(now vclock.Time) []*Interruption {
+	var out []*Interruption
+	for _, iv := range p.interruptions {
+		if !iv.Applied && iv.NoticeAt <= now && iv.At > now {
+			out = append(out, iv)
+		}
+	}
+	return out
 }
 
 // TerminateAll shuts down every non-terminated VM.
@@ -304,7 +421,7 @@ func (p *Provider) Running() []*VM {
 // server into the cloud and advances the clock by the transfer time.
 // It returns the transfer duration.
 func (p *Provider) UploadFromLocal(n int64) vclock.Duration {
-	d := p.opts.Ingress.Transfer(n)
+	d := p.opts.Faults.DegradeTransfer(p.opts.Ingress.Transfer(n))
 	p.clock.Advance(d)
 	p.countIngress(n)
 	return d

@@ -3,6 +3,7 @@ package cloud
 import (
 	"math"
 
+	"rnascale/internal/faults"
 	"rnascale/internal/obs"
 	"rnascale/internal/vclock"
 )
@@ -10,12 +11,27 @@ import (
 // Metric names the provider emits (see the Observability section of
 // README.md for the full rnascale_* naming scheme).
 const (
-	MetricVMBoots      = "rnascale_vm_boots_total"
-	MetricVMTerminated = "rnascale_vm_terminations_total"
-	MetricVMHours      = "rnascale_vm_hours_billed_total"
-	MetricCostUSD      = "rnascale_cost_usd_total"
-	MetricIngressBytes = "rnascale_ingress_bytes_total"
-	MetricBootFailures = "rnascale_vm_boot_failures_total"
+	MetricVMBoots         = "rnascale_vm_boots_total"
+	MetricVMTerminated    = "rnascale_vm_terminations_total"
+	MetricVMHours         = "rnascale_vm_hours_billed_total"
+	MetricCostUSD         = "rnascale_cost_usd_total"
+	MetricIngressBytes    = "rnascale_ingress_bytes_total"
+	MetricBootFailures    = "rnascale_vm_boot_failures_total"
+	MetricVMInterruptions = "rnascale_vm_interruptions_total"
+)
+
+// Boot-failure reasons, the "reason" label on MetricBootFailures. The
+// three RunInstances rejection paths are distinct so a fault plan's
+// injected failures can never be confused with (or double-counted
+// against) account-limit or capacity rejections.
+const (
+	// BootFailLimit is the account instance-limit rejection
+	// (Options.MaxInstances exceeded).
+	BootFailLimit = "limit"
+	// BootFailCapacity is the FailBoot-hook capacity error.
+	BootFailCapacity = "capacity"
+	// BootFailInjected is a fault-plan-injected capacity error.
+	BootFailInjected = "injected"
 )
 
 // SetMetrics attaches a metric registry; the provider then emits
@@ -32,13 +48,23 @@ func (p *Provider) countBoot(typeName string, count int) {
 		obs.Labels{"type": typeName}).Add(float64(count))
 }
 
-// countBootFailure records a rejected RunInstances call.
-func (p *Provider) countBootFailure(typeName string) {
+// countBootFailure records a rejected RunInstances call, labelled with
+// the rejection path.
+func (p *Provider) countBootFailure(typeName, reason string) {
 	if p.metrics == nil {
 		return
 	}
-	p.metrics.Counter(MetricBootFailures, "RunInstances calls rejected (capacity or account limits).",
-		obs.Labels{"type": typeName}).Inc()
+	p.metrics.Counter(MetricBootFailures, "RunInstances calls rejected, by instance type and reason.",
+		obs.Labels{"type": typeName, "reason": reason}).Inc()
+}
+
+// countInterruption records an applied VM interruption.
+func (p *Provider) countInterruption(vm *VM, class faults.Class) {
+	if p.metrics == nil {
+		return
+	}
+	p.metrics.Counter(MetricVMInterruptions, "VMs lost to injected interruptions, by type and fault class.",
+		obs.Labels{"type": vm.Type.Name, "class": string(class)}).Inc()
 }
 
 // countTermination records a VM's final bill when it terminates. The

@@ -152,6 +152,68 @@ func (c *Cluster) Grow(k int) ([]*cloud.VM, error) {
 	return vms, nil
 }
 
+// HasVM reports whether a VM (by ID) is currently part of the
+// cluster.
+func (c *Cluster) HasVM(id string) bool {
+	for _, vm := range c.all {
+		if vm.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveVM withdraws a lost VM from the cluster: its queue node is
+// removed (future allocations only — completed jobs stand) and it is
+// dropped from the member list. The VM itself is not terminated here;
+// an interruption already killed it. Removing the head promotes the
+// next member.
+func (c *Cluster) RemoveVM(dead *cloud.VM) error {
+	idx := -1
+	for i, vm := range c.all {
+		if vm == dead {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("cluster: VM %s is not a member", dead.ID)
+	}
+	for _, name := range c.sched.ActiveNodes() {
+		if len(name) > len(dead.ID) && name[len(name)-len(dead.ID):] == dead.ID {
+			if err := c.sched.RemoveNode(name); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	c.all = append(c.all[:idx], c.all[idx+1:]...)
+	if c.head == dead && len(c.all) > 0 {
+		c.head = c.all[0]
+	}
+	return nil
+}
+
+// ReplaceVM handles an involuntary node loss: the dead VM leaves the
+// cluster, the clock advances to the loss time (recovery cannot start
+// before the failure is observable), and one replacement VM boots,
+// configures and joins the queue. Its boot and configuration time —
+// and its billed hours — are the recovery cost the run's report
+// absorbs.
+func (c *Cluster) ReplaceVM(dead *cloud.VM) (*cloud.VM, error) {
+	if err := c.RemoveVM(dead); err != nil {
+		return nil, err
+	}
+	if dead.TerminatedAt > c.provider.Clock().Now() {
+		c.provider.Clock().AdvanceTo(dead.TerminatedAt)
+	}
+	vms, err := c.Grow(1)
+	if err != nil {
+		return nil, err
+	}
+	return vms[0], nil
+}
+
 // ShrinkTo terminates all but the first keep VMs (the head always
 // survives) and withdraws their queue nodes — the sample run's
 // "other 35 VMs, which are not necessary for PC, are terminated".

@@ -30,6 +30,7 @@ import (
 	"rnascale/internal/cloud"
 	"rnascale/internal/detonate"
 	"rnascale/internal/diffexpr"
+	"rnascale/internal/faults"
 	"rnascale/internal/merge"
 	"rnascale/internal/obs"
 	"rnascale/internal/pilot"
@@ -150,6 +151,25 @@ type Config struct {
 	// gets a private bundle, reachable afterwards via Pipeline.Obs or
 	// Report.Snapshot.
 	Obs *obs.Obs
+	// FaultPlan, when non-nil, injects deterministic failures into the
+	// run — VM crashes, spot reclamations, boot capacity errors,
+	// transient unit failures, degraded transfers (see internal/faults
+	// for the spec syntax). Identical plans and seeds replay
+	// byte-identically.
+	FaultPlan *faults.Plan
+	// FaultSeed seeds the fault injector's splittable PRNG.
+	FaultSeed uint64
+	// Retry sets per-stage unit retry policies. Zero policies default
+	// to pilot.DefaultRetryPolicy when a fault plan is present (so
+	// injected faults are survivable by default) and to no retries
+	// otherwise.
+	Retry StageRetryPolicies
+}
+
+// StageRetryPolicies carries one unit retry policy per pipeline
+// stage.
+type StageRetryPolicies struct {
+	PA, PB, PC pilot.RetryPolicy
 }
 
 // DefaultConfig reproduces the paper's sample-run setup: scheme S2,
@@ -182,6 +202,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Preprocess == (preprocess.Options{}) {
 		c.Preprocess = preprocess.DefaultOptions()
+	}
+	if c.FaultPlan != nil {
+		def := pilot.DefaultRetryPolicy()
+		if c.Retry.PA == (pilot.RetryPolicy{}) {
+			c.Retry.PA = def
+		}
+		if c.Retry.PB == (pilot.RetryPolicy{}) {
+			c.Retry.PB = def
+		}
+		if c.Retry.PC == (pilot.RetryPolicy{}) {
+			c.Retry.PC = def
+		}
 	}
 	return c
 }
@@ -250,6 +282,38 @@ type Report struct {
 	// Snapshot folds the run's spans and metrics into per-stage
 	// TTC/cost tables (see internal/obs).
 	Snapshot *obs.RunSnapshot
+	// Recovery summarizes fault injection and recovery (all zero when
+	// no fault plan was configured).
+	Recovery RecoveryReport
+}
+
+// RecoveryReport aggregates what the fault plan did to a run and what
+// the retry machinery absorbed.
+type RecoveryReport struct {
+	// FaultsInjected counts applied faults by class.
+	FaultsInjected map[string]int
+	// Retries is the number of unit attempt restarts.
+	Retries int
+	// UnitsRecovered counts units that completed after ≥1 retry.
+	UnitsRecovered int
+	// VMsLost counts VMs lost to applied interruptions; each lost VM's
+	// replacement bills extra hours into CostUSD.
+	VMsLost int
+}
+
+// Total sums injected faults across classes.
+func (r RecoveryReport) Total() int {
+	n := 0
+	for _, v := range r.FaultsInjected {
+		n += v
+	}
+	return n
+}
+
+// String renders a one-line summary.
+func (r RecoveryReport) String() string {
+	return fmt.Sprintf("%d faults injected, %d retries, %d units recovered, %d VMs lost",
+		r.Total(), r.Retries, r.UnitsRecovered, r.VMsLost)
 }
 
 // Timeline renders the run's pilot/unit event history as a text

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 
+	"rnascale/internal/faults"
 	"rnascale/internal/obs"
+	"rnascale/internal/pilot"
 	"rnascale/internal/vclock"
 )
 
@@ -75,6 +77,32 @@ func (pl *Pipeline) finishObs(rep *Report) {
 	m.Gauge(MetricRunTTC, "End-to-end run TTC, virtual seconds.", nil).Set(vclock.Duration(now).Seconds())
 	m.Gauge(MetricRunCost, "Total cloud bill for the run, USD.", nil).Set(pl.provider.TotalCost())
 	m.Gauge(MetricRunInstanceHours, "Total billed instance-hours for the run.", nil).Set(pl.provider.TotalInstanceHours())
+	rep.Recovery = pl.recoveryReport()
 	snap := obs.Snapshot(pl.o.Tracer, m)
 	rep.Snapshot = &snap
+}
+
+// recoveryReport folds the fault/retry counters and the provider's
+// interruption ledger into the report's recovery summary.
+func (pl *Pipeline) recoveryReport() RecoveryReport {
+	var rr RecoveryReport
+	for _, pt := range pl.o.Metrics.Points() {
+		switch pt.Name {
+		case faults.MetricFaultsInjected:
+			if rr.FaultsInjected == nil {
+				rr.FaultsInjected = map[string]int{}
+			}
+			rr.FaultsInjected[pt.Labels["class"]] += int(pt.Value)
+		case pilot.MetricRetries:
+			rr.Retries += int(pt.Value)
+		case pilot.MetricUnitsRecovered:
+			rr.UnitsRecovered += int(pt.Value)
+		}
+	}
+	for _, iv := range pl.provider.Interruptions() {
+		if iv.Applied {
+			rr.VMsLost++
+		}
+	}
+	return rr
 }

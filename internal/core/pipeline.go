@@ -10,6 +10,7 @@ import (
 	"rnascale/internal/cluster"
 	"rnascale/internal/detonate"
 	"rnascale/internal/diffexpr"
+	"rnascale/internal/faults"
 	"rnascale/internal/merge"
 	"rnascale/internal/obs"
 	"rnascale/internal/pilot"
@@ -47,6 +48,11 @@ func New(cfg Config) *Pipeline {
 	o := cfg.Obs
 	if o == nil {
 		o = obs.New()
+	}
+	if cfg.FaultPlan != nil {
+		inj := faults.NewInjector(cfg.FaultPlan, cfg.FaultSeed, clock)
+		inj.SetMetrics(o.Metrics)
+		copts.Faults = inj
 	}
 	provider := cloud.NewProvider(clock, copts)
 	provider.SetMetrics(o.Metrics)
@@ -141,6 +147,8 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 	if err != nil {
 		err = fmt.Errorf("core: launching PA: %w", err)
 		paScope.fail(err)
+		pl.teardown()
+		rep.finish(pl)
 		return rep, err
 	}
 
@@ -153,6 +161,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 	fsShard.SeqDataBytes = fs.SeqDataBytes / int64(shards)
 
 	paUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
+	paUM.SetObs(pl.o)
 	if err := paUM.AddPilots(pa); err != nil {
 		return rep, err
 	}
@@ -164,6 +173,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 			Name:  fmt.Sprintf("preprocess-%d", s),
 			Slots: min(pa.Cluster.InstanceType().Cores, 8),
 			Rule:  sge.SingleNode,
+			Retry: cfg.Retry.PA,
 			Work: func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
 				shardClean[s], shardStats[s] = preprocess.Run(shardReads[s], cfg.Preprocess)
 				return pilot.WorkResult{
@@ -249,6 +259,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 	if err != nil {
 		err = fmt.Errorf("core: launching PB: %w", err)
 		pbScope.fail(err)
+		pl.teardown(pa)
 		rep.finish(pl)
 		return rep, err
 	}
@@ -256,6 +267,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 
 	pbStart := pl.clock.Now()
 	pbUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
+	pbUM.SetObs(pl.o)
 	if err := pbUM.AddPilots(pb); err != nil {
 		return rep, err
 	}
@@ -287,6 +299,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 				Name:  fmt.Sprintf("%s-k%d", name, k),
 				Slots: jobNodes * cores,
 				Rule:  rule,
+				Retry: cfg.Retry.PB,
 				Work: func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
 					extra := vclock.Duration(0)
 					jobReads := cleaned.Reads
@@ -391,12 +404,14 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 	if err != nil {
 		err = fmt.Errorf("core: launching PC: %w", err)
 		pcScope.fail(err)
+		pl.teardown(pa, pb)
 		rep.finish(pl)
 		return rep, err
 	}
 	pcScope.attr(obs.AttrInstanceType, pc.Cluster.InstanceType().Name)
 	pcStart := pl.clock.Now()
 	pcUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
+	pcUM.SetObs(pl.o)
 	if err := pcUM.AddPilots(pc); err != nil {
 		return rep, err
 	}
@@ -404,6 +419,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 		Name:  "postprocess",
 		Slots: min(pc.Cluster.InstanceType().Cores, 8),
 		Rule:  sge.SingleNode,
+		Retry: cfg.Retry.PC,
 		Work: func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
 			// Merge each assembler's multi-k sets, then the MAMP union
 			// (optionally with cross-assembler consensus validation).

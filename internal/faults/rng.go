@@ -1,0 +1,55 @@
+package faults
+
+// RNG is a splittable deterministic pseudo-random stream built on the
+// splitmix64 generator. Unlike math/rand's global source, every stream
+// is derived purely from a seed and a key path, so a simulation that
+// consults the same streams with the same keys replays byte-identically
+// regardless of call order across independent streams.
+type RNG struct {
+	seed  uint64 // stream identity, fixed at creation
+	state uint64 // stream position
+}
+
+// NewRNG returns the root stream for a seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{seed: seed, state: seed}
+}
+
+// Split derives an independent child stream from this stream's
+// identity and a key path. Splitting does not advance the parent, and
+// the same (seed, keys) always yields the same child — the property
+// the fault injector relies on to make per-VM and per-unit decisions
+// order-independent.
+func (r *RNG) Split(keys ...string) *RNG {
+	const prime = 1099511628211 // FNV-1a
+	h := r.seed
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= prime
+		}
+		// Key separator, so ("ab","c") and ("a","bc") diverge.
+		h ^= 0xff
+		h *= prime
+	}
+	h = mix64(h)
+	return &RNG{seed: h, state: h}
+}
+
+// Uint64 returns the next value of the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// Float64 returns the next value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -31,6 +31,7 @@ import (
 	"rnascale/internal/assembler"
 	_ "rnascale/internal/assembler/all" // make every assembler submittable
 	"rnascale/internal/core"
+	"rnascale/internal/faults"
 	"rnascale/internal/obs"
 	"rnascale/internal/seq"
 	"rnascale/internal/simdata"
@@ -66,6 +67,13 @@ type RunRequest struct {
 	ContrailNodes int `json:"contrailNodes"`
 	// Evaluate scores the result against the synthetic ground truth.
 	Evaluate bool `json:"evaluate"`
+	// Faults is a deterministic fault-injection spec (see
+	// internal/faults), e.g. "crash:p=0.1,after=600;slowxfer:x=0.5".
+	// Empty disables injection.
+	Faults string `json:"faults,omitempty"`
+	// FaultSeed seeds the fault-injection PRNG; the same seed replays
+	// the same faults.
+	FaultSeed uint64 `json:"faultSeed,omitempty"`
 }
 
 // RunStatus is the externally visible run state.
@@ -91,6 +99,9 @@ type RunView struct {
 	Stages      map[string]string  `json:"stages,omitempty"`
 	Transcripts int                `json:"transcripts,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// Recovery summarizes fault injection and recovery ("N faults
+	// injected, ..."), present when the run had a fault plan.
+	Recovery string `json:"recovery,omitempty"`
 }
 
 // run is the internal record.
@@ -376,6 +387,9 @@ func (s *Server) setStatus(id string, status RunStatus, rep *core.Report, errMsg
 		for _, st := range rep.Stages {
 			rn.view.Stages[st.Name] = st.Duration().String()
 		}
+		if rep.Config.FaultPlan != nil {
+			rn.view.Recovery = rep.Recovery.String()
+		}
 		if rep.Metrics != nil {
 			rn.view.Metrics = map[string]float64{
 				"precision":          rep.Metrics.Precision,
@@ -443,5 +457,13 @@ func buildConfig(req RunRequest) (core.Config, *simdata.Dataset, error) {
 		cfg.ContrailNodes = req.ContrailNodes
 	}
 	cfg.EvaluateAgainstTruth = req.Evaluate
+	if req.Faults != "" {
+		plan, err := faults.ParseSpec(req.Faults)
+		if err != nil {
+			return core.Config{}, nil, fmt.Errorf("gateway: %w", err)
+		}
+		cfg.FaultPlan = plan
+		cfg.FaultSeed = req.FaultSeed
+	}
 	return cfg, ds, nil
 }

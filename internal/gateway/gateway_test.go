@@ -122,6 +122,37 @@ func TestSubmitAndComplete(t *testing.T) {
 	}
 }
 
+func TestSubmitWithFaultPlan(t *testing.T) {
+	s, ts := newTestServer(t)
+	view := submitRun(t, ts, RunRequest{
+		Profile:    "tiny",
+		Assemblers: []string{"velvet"},
+		Scheme:     "S1",
+		Pattern:    "static",
+		Faults:     "unitflake:p=0.9,n=1",
+		FaultSeed:  3,
+	})
+	s.Wait()
+	var done RunView
+	if code := getJSON(t, ts.URL+"/api/runs/"+view.ID, &done); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if done.Status != StatusDone {
+		t.Fatalf("run %s: %s (%s)", done.ID, done.Status, done.Error)
+	}
+	if done.Recovery == "" || !strings.Contains(done.Recovery, "faults injected") {
+		t.Errorf("recovery summary missing: %+v", done)
+	}
+	// A run without a plan reports no recovery field.
+	plain := submitRun(t, ts, RunRequest{Profile: "tiny", Assemblers: []string{"velvet"}})
+	s.Wait()
+	var plainDone RunView
+	getJSON(t, ts.URL+"/api/runs/"+plain.ID, &plainDone)
+	if plainDone.Recovery != "" {
+		t.Errorf("plain run has recovery %q", plainDone.Recovery)
+	}
+}
+
 func TestSubmitValidation(t *testing.T) {
 	_, ts := newTestServer(t)
 	for name, req := range map[string]RunRequest{
@@ -129,6 +160,7 @@ func TestSubmitValidation(t *testing.T) {
 		"bad-assembler": {Profile: "tiny", Assemblers: []string{"nope"}},
 		"bad-scheme":    {Profile: "tiny", Scheme: "S9"},
 		"bad-pattern":   {Profile: "tiny", Pattern: "quantum"},
+		"bad-faults":    {Profile: "tiny", Faults: "meteor:p=1"},
 	} {
 		body, _ := json.Marshal(req)
 		resp, err := http.Post(ts.URL+"/api/runs", "application/json", bytes.NewReader(body))

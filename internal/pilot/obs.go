@@ -17,6 +17,14 @@ const MetricTransitions = "rnascale_state_transitions_total"
 // queue.
 const MetricSGEQueueWait = "rnascale_sge_queue_wait_seconds"
 
+// MetricRetries counts unit attempt restarts (each Executing →
+// Retrying → Executing cycle).
+const MetricRetries = "rnascale_retries_total"
+
+// MetricUnitsRecovered counts units that reached DONE after at least
+// one retry — the faults the retry policy actually absorbed.
+const MetricUnitsRecovered = "rnascale_units_recovered_total"
+
 // SpanBridge mirrors the state store's event stream into obs spans —
 // the run-time monitoring the paper gets from RADICAL-Pilot's MongoDB
 // backend, driven from the *existing* event path rather than a

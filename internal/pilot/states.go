@@ -26,16 +26,21 @@ const (
 	PilotNew       PilotState = "NEW"
 	PilotLaunching PilotState = "PMGR_LAUNCHING"
 	PilotActive    PilotState = "PMGR_ACTIVE"
-	PilotDone      PilotState = "DONE"
-	PilotCanceled  PilotState = "CANCELED"
-	PilotFailed    PilotState = "FAILED"
+	// PilotDegraded marks a pilot that lost a node to an interruption
+	// and is recovering (replacement VM booting); it returns to ACTIVE
+	// once recovered.
+	PilotDegraded PilotState = "PMGR_DEGRADED"
+	PilotDone     PilotState = "DONE"
+	PilotCanceled PilotState = "CANCELED"
+	PilotFailed   PilotState = "FAILED"
 )
 
 // pilotTransitions lists the legal pilot state machine edges.
 var pilotTransitions = map[PilotState][]PilotState{
 	PilotNew:       {PilotLaunching, PilotCanceled},
 	PilotLaunching: {PilotActive, PilotFailed, PilotCanceled},
-	PilotActive:    {PilotDone, PilotFailed, PilotCanceled},
+	PilotActive:    {PilotDegraded, PilotDone, PilotFailed, PilotCanceled},
+	PilotDegraded:  {PilotActive, PilotDone, PilotFailed, PilotCanceled},
 }
 
 // Final reports whether the state is terminal.
@@ -62,9 +67,12 @@ const (
 	UnitScheduling UnitState = "UMGR_SCHEDULING"
 	UnitScheduled  UnitState = "AGENT_SCHEDULING"
 	UnitExecuting  UnitState = "AGENT_EXECUTING"
-	UnitDone       UnitState = "DONE"
-	UnitCanceled   UnitState = "CANCELED"
-	UnitFailed     UnitState = "FAILED"
+	// UnitRetrying marks a unit whose attempt failed and whose agent
+	// is waiting out the retry backoff before resubmitting it.
+	UnitRetrying UnitState = "AGENT_RETRYING"
+	UnitDone     UnitState = "DONE"
+	UnitCanceled UnitState = "CANCELED"
+	UnitFailed   UnitState = "FAILED"
 )
 
 // unitTransitions lists the legal unit state machine edges.
@@ -72,7 +80,8 @@ var unitTransitions = map[UnitState][]UnitState{
 	UnitNew:        {UnitScheduling, UnitCanceled},
 	UnitScheduling: {UnitScheduled, UnitFailed, UnitCanceled},
 	UnitScheduled:  {UnitExecuting, UnitFailed, UnitCanceled},
-	UnitExecuting:  {UnitDone, UnitFailed, UnitCanceled},
+	UnitExecuting:  {UnitRetrying, UnitDone, UnitFailed, UnitCanceled},
+	UnitRetrying:   {UnitExecuting, UnitFailed, UnitCanceled},
 }
 
 // Final reports whether the state is terminal.

@@ -3,9 +3,11 @@ package pilot
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"rnascale/internal/cloud"
 	"rnascale/internal/cluster"
+	"rnascale/internal/obs"
 	"rnascale/internal/sge"
 	"rnascale/internal/vclock"
 )
@@ -41,6 +43,49 @@ type WorkResult struct {
 // WorkFunc performs a unit's real computation.
 type WorkFunc func(env *ExecEnv) (WorkResult, error)
 
+// RetryPolicy governs how the pilot agent restarts a failing unit:
+// up to MaxRetries restarts, each preceded by a capped exponential
+// backoff in virtual time (Backoff, Backoff·Factor, … ≤ MaxBackoff).
+type RetryPolicy struct {
+	// MaxRetries is the number of restarts after the first attempt.
+	MaxRetries int
+	// Backoff precedes the first retry; 0 retries immediately.
+	Backoff vclock.Duration
+	// Factor multiplies the backoff per retry (≤0 defaults to 2).
+	Factor float64
+	// MaxBackoff caps the grown backoff (0 = uncapped).
+	MaxBackoff vclock.Duration
+}
+
+// DefaultRetryPolicy is the stage policy a fault-injected run falls
+// back to: three restarts at 30 s, 60 s, 120 s (capped at 10 min).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, Backoff: 30 * vclock.Second, Factor: 2, MaxBackoff: 10 * vclock.Minute}
+}
+
+// BackoffFor reports the backoff preceding retry number `retry`
+// (1-based).
+func (p RetryPolicy) BackoffFor(retry int) vclock.Duration {
+	if p.Backoff <= 0 || retry < 1 {
+		return 0
+	}
+	f := p.Factor
+	if f <= 0 {
+		f = 2
+	}
+	d := float64(p.Backoff)
+	for i := 1; i < retry; i++ {
+		d *= f
+		if p.MaxBackoff > 0 && d >= float64(p.MaxBackoff) {
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	return vclock.Duration(d)
+}
+
 // UnitDescription describes one compute unit.
 type UnitDescription struct {
 	Name string
@@ -53,10 +98,23 @@ type UnitDescription struct {
 	MemoryGBPerSlot float64
 	// MaxRetries is how many times the agent restarts a failing unit
 	// before declaring it FAILED — the pilot's "starting, monitoring,
-	// and restarting" responsibility. 0 means no retries.
+	// and restarting" responsibility. 0 means no retries. Superseded
+	// by Retry when that is set.
 	MaxRetries int
+	// Retry, when non-zero, is the full restart policy (count plus
+	// virtual-time backoff); the zero value falls back to MaxRetries
+	// with no backoff.
+	Retry RetryPolicy
 	// Work is the unit body.
 	Work WorkFunc
+}
+
+// retryPolicy resolves the effective restart policy.
+func (d UnitDescription) retryPolicy() RetryPolicy {
+	if d.Retry != (RetryPolicy{}) {
+		return d.Retry
+	}
+	return RetryPolicy{MaxRetries: d.MaxRetries}
 }
 
 // Unit is a submitted compute unit.
@@ -119,11 +177,24 @@ type UnitManager struct {
 	// boundSlots counts slots of units bound to each pilot but not
 	// yet executed — the pending-load signal for LeastLoaded.
 	boundSlots map[*Pilot]int
+	obs        *obs.Obs
 }
 
 // NewUnitManager returns a unit manager over the shared store.
 func NewUnitManager(store *StateStore, clock *vclock.Clock, policy SchedulingPolicy) *UnitManager {
 	return &UnitManager{store: store, clock: clock, policy: policy, boundSlots: map[*Pilot]int{}}
+}
+
+// SetObs attaches an observability bundle for the retry/recovery
+// counters; nil detaches it.
+func (um *UnitManager) SetObs(o *obs.Obs) { um.obs = o }
+
+// count increments an unlabelled unit-manager counter.
+func (um *UnitManager) count(name, help string) {
+	if um.obs == nil || um.obs.Metrics == nil {
+		return
+	}
+	um.obs.Metrics.Counter(name, help, nil).Inc()
 }
 
 // AddPilots registers pilots as scheduling targets.
@@ -206,7 +277,9 @@ func (um *UnitManager) load(p *Pilot, slots int) (float64, vclock.Time) {
 	return float64(um.boundSlots[p]) / float64(total), vclock.Max(um.clock.Now(), sched.Makespan())
 }
 
-// Cancel cancels a unit that has not started executing.
+// Cancel cancels a unit that is not actively executing: pending units
+// and units parked in the retry-backoff window (AGENT_RETRYING) are
+// cancelable; a unit mid-execution is not.
 func (um *UnitManager) Cancel(u *Unit) error {
 	st := u.State()
 	if st.Final() {
@@ -242,7 +315,7 @@ func (um *UnitManager) Run() error {
 		end, err := um.execute(u, now)
 		if err != nil {
 			u.Err = err
-			outs = append(outs, outcome{u: u, at: now, err: err})
+			outs = append(outs, outcome{u: u, at: vclock.Max(end, now), err: err})
 			continue
 		}
 		outs = append(outs, outcome{u: u, at: end})
@@ -254,6 +327,10 @@ func (um *UnitManager) Run() error {
 	// event log stays chronological.
 	sort.SliceStable(outs, func(a, b int) bool { return outs[a].at < outs[b].at })
 	for _, o := range outs {
+		if o.u.State().Final() {
+			// Already terminal (e.g. canceled during a retry backoff).
+			continue
+		}
 		if o.err != nil {
 			if err := um.store.Transition(o.u.ID, string(UnitFailed), o.at, o.err.Error()); err != nil {
 				return err
@@ -270,12 +347,62 @@ func (um *UnitManager) Run() error {
 	return nil
 }
 
-// execute runs one unit — restarting it up to MaxRetries times on
-// failure, as the pilot agent does — and returns its virtual end
-// time.
+// execute runs one unit under its retry policy — restarting it after
+// a capped exponential virtual-time backoff, as the pilot agent's
+// "starting, monitoring, and restarting" responsibility demands — and
+// returns its virtual end time (the failure time when the error is
+// non-nil).
 func (um *UnitManager) execute(u *Unit, at vclock.Time) (vclock.Time, error) {
+	pol := u.Desc.retryPolicy()
+	submitAt := at
+	for u.Attempts = 1; ; u.Attempts++ {
+		end, failAt, err := um.tryOnce(u, submitAt)
+		if err == nil {
+			if u.Attempts > 1 {
+				um.count(MetricUnitsRecovered, "Units that reached DONE after at least one retry.")
+			}
+			return end, nil
+		}
+		if u.Attempts > pol.MaxRetries {
+			if u.Attempts > 1 {
+				return failAt, fmt.Errorf("%w (after %d attempts)", err, u.Attempts)
+			}
+			return failAt, err
+		}
+		backoff := pol.BackoffFor(u.Attempts)
+		if terr := um.store.Transition(u.ID, string(UnitRetrying), failAt,
+			fmt.Sprintf("attempt %d failed: %v; retry in %v", u.Attempts, err, backoff)); terr != nil {
+			return failAt, terr
+		}
+		um.count(MetricRetries, "Unit attempt restarts by the pilot agent.")
+		if u.State() == UnitCanceled {
+			// Canceled during the backoff window: no resubmission, and
+			// the terminal state is already recorded.
+			return failAt, fmt.Errorf("canceled during retry backoff: %w", err)
+		}
+		submitAt = failAt.Add(backoff)
+		if terr := um.store.Transition(u.ID, string(UnitExecuting), submitAt,
+			fmt.Sprintf("retry %d", u.Attempts+1)); terr != nil {
+			return submitAt, terr
+		}
+	}
+}
+
+// tryOnce makes one attempt at a unit, submitted at `at`. On success
+// it returns the job end; on failure the virtual failure time and the
+// cause. Node losses that surface during the attempt are recovered
+// (replacement VM) before returning, so the retry lands on a healthy
+// queue.
+func (um *UnitManager) tryOnce(u *Unit, at vclock.Time) (end, failAt vclock.Time, err error) {
 	p := u.Pilot
+	prov := p.Cluster.Provider()
+	// Interruptions that already struck this pilot's nodes are
+	// recovered first, so placement only sees live nodes.
+	um.recoverLostNodes(p, at)
 	it := p.Cluster.InstanceType()
+	if prov.Faults().UnitAttemptFails(u.ID, u.Attempts, at) {
+		return 0, at, fmt.Errorf("injected transient failure (attempt %d)", u.Attempts)
+	}
 	env := &ExecEnv{
 		Store:        p.Cluster.Store(),
 		InstanceType: it,
@@ -283,19 +410,9 @@ func (um *UnitManager) execute(u *Unit, at vclock.Time) (vclock.Time, error) {
 	}
 	// SGE reserves on submit, so the work runs first (yielding the
 	// true duration), then the job is scheduled.
-	var res WorkResult
-	var err error
-	for u.Attempts = 1; ; u.Attempts++ {
-		res, err = um.attempt(u, env, it)
-		if err == nil {
-			break
-		}
-		if u.Attempts > u.Desc.MaxRetries {
-			if u.Desc.MaxRetries > 0 {
-				return 0, fmt.Errorf("%w (after %d attempts)", err, u.Attempts)
-			}
-			return 0, err
-		}
+	res, err := um.attempt(u, env, it)
+	if err != nil {
+		return 0, at, err
 	}
 	job, err := p.Cluster.Scheduler().Submit(sge.JobSpec{
 		Name:            u.ID,
@@ -305,13 +422,75 @@ func (um *UnitManager) execute(u *Unit, at vclock.Time) (vclock.Time, error) {
 		MemoryGBPerSlot: u.Desc.MemoryGBPerSlot,
 	}, at)
 	if err != nil {
-		return 0, fmt.Errorf("sge: %w", err)
+		return 0, at, fmt.Errorf("sge: %w", err)
+	}
+	if iv := um.interruptionDuring(p, job); iv != nil {
+		lossAt := vclock.Max(iv.At, job.Start)
+		um.recoverNode(p, iv)
+		return 0, lossAt, fmt.Errorf("node %s lost (%s)", iv.VM.ID, iv.Class)
 	}
 	env.SlotsByNode = job.SlotsByNode
 	env.Nodes = len(job.SlotsByNode)
 	u.Start, u.End = job.Start, job.End
 	u.Result = res
-	return job.End, nil
+	return job.End, 0, nil
+}
+
+// interruptionDuring reports the earliest scheduled interruption that
+// kills one of the job's nodes before the job would finish, or nil.
+func (um *UnitManager) interruptionDuring(p *Pilot, job *sge.Job) *cloud.Interruption {
+	prov := p.Cluster.Provider()
+	var hit *cloud.Interruption
+	for node := range job.SlotsByNode {
+		// Queue node names embed the backing VM ID ("node001:i-000002").
+		_, vmID, ok := strings.Cut(node, ":")
+		if !ok {
+			continue
+		}
+		if iv, ok := prov.InterruptionFor(vmID); ok && !iv.Applied && iv.At < job.End {
+			if hit == nil || iv.At < hit.At {
+				hit = iv
+			}
+		}
+	}
+	return hit
+}
+
+// recoverLostNodes applies and recovers every interruption that has
+// already struck this pilot's cluster as of `until`.
+func (um *UnitManager) recoverLostNodes(p *Pilot, until vclock.Time) {
+	for _, iv := range p.Cluster.Provider().PendingInterruptions(until) {
+		if p.Cluster.HasVM(iv.VM.ID) {
+			um.recoverNode(p, iv)
+		}
+	}
+}
+
+// recoverNode handles one node loss: the interruption is applied (the
+// VM terminates and bills to the loss time), the pilot degrades, a
+// replacement VM boots and joins the queue, and the pilot reactivates
+// — the pilot-level resubmission path that keeps a stage alive across
+// involuntary node loss.
+func (um *UnitManager) recoverNode(p *Pilot, iv *cloud.Interruption) {
+	prov := p.Cluster.Provider()
+	if !prov.ApplyInterruption(iv) {
+		return
+	}
+	dead := iv.VM
+	if p.State() == PilotActive {
+		_ = um.store.Transition(p.ID, string(PilotDegraded), dead.TerminatedAt,
+			fmt.Sprintf("node %s lost (%s)", dead.ID, iv.Class))
+	}
+	repl, err := p.Cluster.ReplaceVM(dead)
+	if err != nil {
+		// No replacement available: the pilot limps along on its
+		// surviving nodes and stays degraded.
+		return
+	}
+	if p.State() == PilotDegraded {
+		_ = um.store.Transition(p.ID, string(PilotActive), prov.Clock().Now(),
+			fmt.Sprintf("replacement %s joined for %s", repl.ID, dead.ID))
+	}
 }
 
 // attempt runs the work function once and applies the result checks.

@@ -37,6 +37,7 @@ import (
 
 	_ "rnascale/internal/assembler/all" // register the Table I assemblers
 	"rnascale/internal/core"
+	"rnascale/internal/faults"
 	"rnascale/internal/simdata"
 )
 
@@ -144,6 +145,20 @@ func Predict(ds *Dataset, cfg Config) (Plan, error) { return core.Predict(ds, cf
 func Optimize(ds *Dataset, candidates []Config, obj Objective) (Plan, error) {
 	return core.Optimize(ds, candidates, obj)
 }
+
+// FaultPlan is a parsed deterministic fault-injection plan; assign it
+// to Config.FaultPlan (with Config.FaultSeed) to run under injected
+// faults.
+type FaultPlan = faults.Plan
+
+// RecoveryReport summarizes injected faults and the recovery work a
+// run performed (Report.Recovery).
+type RecoveryReport = core.RecoveryReport
+
+// ParseFaultSpec parses a fault-injection spec like
+// "crash:p=0.1,after=600;slowxfer:x=0.5". See internal/faults for the
+// grammar.
+func ParseFaultSpec(spec string) (*FaultPlan, error) { return faults.ParseSpec(spec) }
 
 // Assemblers lists the names of the integrated de novo assemblers:
 // the paper's three distributed tools (Table I), Rnnotator's stock
