@@ -10,7 +10,7 @@ COVER_SPECS = internal/cloud:80 internal/pilot:80 internal/core:75
 FUZZ_TARGETS = FuzzParseFasta FuzzParseFastq FuzzParseSFA
 FUZZ_TIME ?= 10s
 
-.PHONY: all build test vet race cover fuzz-smoke check bench clean
+.PHONY: all build test vet race cover fuzz-smoke sweep-determinism check bench clean
 
 all: build
 
@@ -45,13 +45,20 @@ fuzz-smoke:
 		$(GO) test ./internal/seq -run '^$$' -fuzz "^$$tgt$$" -fuzztime=$(FUZZ_TIME) || exit 1; \
 	done
 
+# sweep-determinism pins the parallel-executor contract under the
+# race detector: byte-identical results for any worker count, and one
+# dataset generation per profile however many cells ask for it.
+sweep-determinism:
+	$(GO) test -race -run 'TestMapDeterminismAcrossWorkerCounts|TestDatasetCacheSingleGeneration' ./internal/sweep
+
 # check is the gate a change must pass before review: static analysis,
-# the full test suite under the race detector, the coverage floors and
-# a fuzz smoke pass.
-check: vet race cover fuzz-smoke
+# the full test suite under the race detector, the coverage floors,
+# the sweep determinism contract and a fuzz smoke pass.
+check: vet race cover sweep-determinism fuzz-smoke
 
 # bench regenerates the paper tables at quick scale and refreshes
-# BENCH_results.json (per-stage TTC/cost snapshots).
+# BENCH_results.json (per-stage TTC/cost snapshots, plus the pass's
+# wall-clock seconds and worker count for throughput tracking).
 bench:
 	$(GO) run ./cmd/benchtab -experiment all
 

@@ -6,7 +6,12 @@
 //
 //	benchtab -experiment all               # everything, quick scale
 //	benchtab -experiment table3 -scale full
-//	benchtab -experiment fig5
+//	benchtab -experiment fig5 -workers 4
+//
+// -workers fans experiment grids across the sweep engine; the printed
+// tables are byte-identical for every worker count (ordered
+// collection), so parallelism only changes wall-clock time — which is
+// recorded in the -json document for trajectory tracking.
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3
 // fig4a fig4b fig5 ablations all
@@ -23,20 +28,24 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"rnascale/internal/core"
 	"rnascale/internal/experiments"
 	"rnascale/internal/obs"
 	"rnascale/internal/simdata"
+	"rnascale/internal/sweep"
 )
 
 func main() {
 	var (
 		exp      = flag.String("experiment", "all", "experiment to run (table1..table5, fig1..fig5, ablations, all)")
 		scale    = flag.String("scale", "quick", "dataset scale: quick or full")
+		workers  = flag.Int("workers", 0, "sweep workers for experiment grids (<1 uses GOMAXPROCS)")
 		jsonPath = flag.String("json", "BENCH_results.json", "write machine-readable stage TTC/cost snapshots here (empty disables)")
 	)
 	flag.Parse()
+	experiments.Workers = *workers
 
 	sc := experiments.Quick
 	if strings.ToLower(*scale) == "full" {
@@ -82,6 +91,7 @@ func main() {
 	if names[0] == "all" {
 		names = order
 	}
+	start := time.Now()
 	for _, name := range names {
 		run, ok := runners[name]
 		if !ok {
@@ -98,7 +108,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		if err := writeBenchResults(*jsonPath); err != nil {
+		if err := writeBenchResults(*jsonPath, *workers, time.Since(start).Seconds()); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}
@@ -112,17 +122,22 @@ type benchRun struct {
 	Snapshot *obs.RunSnapshot `json:"snapshot"`
 }
 
-// benchResults is the BENCH_results.json document.
+// benchResults is the BENCH_results.json document. WallClockSeconds
+// is the real elapsed time of the experiment pass that preceded the
+// canonical runs (virtual TTCs live in the snapshots), recorded with
+// the worker count so throughput is comparable across revisions.
 type benchResults struct {
-	Schema string     `json:"schema"`
-	Runs   []benchRun `json:"runs"`
+	Schema           string     `json:"schema"`
+	Workers          int        `json:"workers"`
+	WallClockSeconds float64    `json:"wallClockSeconds"`
+	Runs             []benchRun `json:"runs"`
 }
 
-// writeBenchResults executes the canonical quick runs and dumps their
-// snapshots. The set spans the design space's corners: the paper's
-// sample setup (S2 dynamic), its S1 counterpart, and the conventional
-// single-pilot baseline.
-func writeBenchResults(path string) error {
+// writeBenchResults executes the canonical quick runs on the sweep
+// engine and dumps their snapshots in fixed order. The set spans the
+// design space's corners: the paper's sample setup (S2 dynamic), its
+// S1 counterpart, and the conventional single-pilot baseline.
+func writeBenchResults(path string, workers int, wallSeconds float64) error {
 	cases := []struct {
 		name    string
 		scheme  core.MatchingScheme
@@ -133,11 +148,11 @@ func writeBenchResults(path string) error {
 		{"dynamic-S1", core.S1, core.DistributedDynamic},
 		{"dynamic-S2", core.S2, core.DistributedDynamic},
 	}
-	doc := benchResults{Schema: "rnascale.bench-results/v1"}
-	for _, c := range cases {
-		ds, err := simdata.Generate(simdata.Tiny())
+	runs, err := sweep.Map(len(cases), func(i int) (benchRun, error) {
+		c := cases[i]
+		ds, err := simdata.GenerateCached(simdata.Tiny())
 		if err != nil {
-			return err
+			return benchRun{}, err
 		}
 		cfg := core.DefaultConfig()
 		cfg.Scheme = c.scheme
@@ -145,9 +160,18 @@ func writeBenchResults(path string) error {
 		cfg.ContrailNodes = 2
 		rep, err := core.Run(ds, cfg)
 		if err != nil {
-			return fmt.Errorf("bench run %s: %w", c.name, err)
+			return benchRun{}, fmt.Errorf("bench run %s: %w", c.name, err)
 		}
-		doc.Runs = append(doc.Runs, benchRun{Name: c.name, Snapshot: rep.Snapshot})
+		return benchRun{Name: c.name, Snapshot: rep.Snapshot}, nil
+	}, sweep.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	doc := benchResults{
+		Schema:           "rnascale.bench-results/v1",
+		Workers:          workers,
+		WallClockSeconds: wallSeconds,
+		Runs:             runs,
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	gateway -addr :8080 -concurrency 2
+//	gateway -addr :8080 -concurrency 2 -max-queued 64
 //
 //	curl -s localhost:8080/api/assemblers
 //	curl -s -X POST localhost:8080/api/runs \
@@ -26,9 +26,12 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		concurrency = flag.Int("concurrency", 2, "max concurrent pipeline runs")
+		maxQueued   = flag.Int("max-queued", gateway.DefaultMaxQueued,
+			"max submissions waiting for a worker before POSTs get 429")
 	)
 	flag.Parse()
 	srv := gateway.NewServer(*concurrency)
+	srv.SetMaxQueued(*maxQueued)
 	log.Printf("rnascale gateway listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

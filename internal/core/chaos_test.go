@@ -3,12 +3,15 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
 	_ "rnascale/internal/assembler/all"
 	"rnascale/internal/faults"
 	"rnascale/internal/obs"
+	"rnascale/internal/simdata"
+	"rnascale/internal/sweep"
 	"rnascale/internal/vclock"
 )
 
@@ -24,16 +27,23 @@ func chaosConfig() Config {
 }
 
 // runChaos executes one pipeline run and captures the snapshot bytes
-// (empty when the run failed before the report was finalized).
+// (empty when the run failed before the report was finalized). It may
+// run on a sweep worker goroutine, so it reports snapshot-write
+// failures with Errorf (goroutine-safe) rather than Fatal.
 func runChaos(t *testing.T, cfg Config) (*Report, *Pipeline, string, error) {
 	t.Helper()
-	ds := tinyDS(t)
+	ds, err := simdata.GenerateCached(simdata.Tiny())
+	if err != nil {
+		// Captured by the sweep engine as the cell's error when this
+		// runs on a worker goroutine (t.Fatal is not legal there).
+		panic(err)
+	}
 	pl := New(cfg)
 	rep, err := pl.Run(ds)
 	var buf bytes.Buffer
 	if rep != nil && rep.Snapshot != nil {
 		if werr := rep.Snapshot.WriteJSON(&buf); werr != nil {
-			t.Fatal(werr)
+			t.Errorf("snapshot write: %v", werr)
 		}
 	}
 	return rep, pl, buf.String(), err
@@ -67,13 +77,32 @@ func TestChaosSoak(t *testing.T) {
 			if err != nil {
 				t.Fatalf("spec %q: %v", sc.spec, err)
 			}
-			var completed, failed int
-			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			// Each seed is an isolated simulation pair; fan the seed
+			// matrix across the sweep engine and assert on the ordered
+			// results back on the test goroutine.
+			type seedResult struct {
+				rep1, rep2   *Report
+				pl1          *Pipeline
+				snap1, snap2 string
+				err1, err2   error
+			}
+			results, mapErr := sweep.Map(seeds, func(i int) (seedResult, error) {
 				cfg := chaosConfig()
 				cfg.FaultPlan = plan
-				cfg.FaultSeed = seed
-				rep1, pl1, snap1, err1 := runChaos(t, cfg)
-				rep2, _, snap2, err2 := runChaos(t, cfg)
+				cfg.FaultSeed = uint64(i + 1)
+				var r seedResult
+				r.rep1, r.pl1, r.snap1, r.err1 = runChaos(t, cfg)
+				r.rep2, _, r.snap2, r.err2 = runChaos(t, cfg)
+				return r, nil
+			}, sweep.Options{Workers: runtime.GOMAXPROCS(0)})
+			if mapErr != nil {
+				t.Fatal(mapErr)
+			}
+			var completed, failed int
+			for i, r := range results {
+				seed := uint64(i + 1)
+				rep1, pl1, snap1, err1 := r.rep1, r.pl1, r.snap1, r.err1
+				rep2, snap2, err2 := r.rep2, r.snap2, r.err2
 
 				// Same seed ⇒ identical outcome, byte-identical snapshot.
 				if (err1 == nil) != (err2 == nil) {

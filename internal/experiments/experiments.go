@@ -22,8 +22,23 @@ import (
 	"rnascale/internal/preprocess"
 	"rnascale/internal/seq"
 	"rnascale/internal/simdata"
+	"rnascale/internal/sweep"
 	"rnascale/internal/vclock"
 )
+
+// Workers is the worker-pool size every experiment grid fans its
+// independent cells across (see internal/sweep); values < 1 use
+// GOMAXPROCS. benchtab's -workers flag sets it. Each cell owns its
+// own virtual clock, simulated cloud and observability registry, and
+// results are collected in submission order, so rendered tables are
+// byte-identical for every worker count.
+var Workers int
+
+// sweepMap fans n independent experiment cells across the package
+// worker pool, collecting results in submission order.
+func sweepMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return sweep.Map(n, fn, sweep.Options{Workers: Workers})
+}
 
 // Scale selects how large the synthetic stand-in datasets are.
 type Scale int
@@ -37,16 +52,19 @@ const (
 	Full
 )
 
-// dataset materializes the profile for a scale.
+// dataset materializes the profile for a scale through the memoized
+// dataset cache: experiments sharing a (profile, scale) pay the
+// generation cost once per process instead of once per cell, and the
+// shared *simdata.Dataset is read-only by contract.
 func dataset(sc Scale, full simdata.Profile) (*simdata.Dataset, error) {
 	if sc == Quick {
 		p := simdata.Tiny()
 		p.FullScale = full.FullScale
 		// Keep a scaled k plan the tiny reads can support.
 		p.FullScale.AssemblyKmers = simdata.Tiny().FullScale.AssemblyKmers
-		return simdata.Generate(p)
+		return simdata.GenerateCached(p)
 	}
-	return simdata.Generate(full)
+	return simdata.GenerateCached(full)
 }
 
 // cleanNFree preprocesses and strips N reads (assembler benchmarks
@@ -128,7 +146,7 @@ func Table2() (string, error) {
 	// Generate the scaled instances to show the stand-in sizes.
 	fmt.Fprintf(&b, "\nScaled synthetic stand-ins actually assembled in this reproduction:\n")
 	for _, p := range profiles {
-		ds, err := simdata.Generate(p)
+		ds, err := simdata.GenerateCached(p)
 		if err != nil {
 			return "", err
 		}
@@ -161,11 +179,12 @@ func Table3(sc Scale) ([]Table3Row, string, error) {
 	reads := cleanNFree(ds)
 	k := scaledK(ds)
 	paper := map[string]vclock.Duration{"ray": 1721, "abyss": 882, "contrail": 6720}
-	var rows []Table3Row
-	for _, name := range []string{"ray", "abyss", "contrail"} {
+	names := []string{"ray", "abyss", "contrail"}
+	rows, err := sweepMap(len(names), func(i int) (Table3Row, error) {
+		name := names[i]
 		a, err := assembler.Get(name)
 		if err != nil {
-			return nil, "", err
+			return Table3Row{}, err
 		}
 		res, err := a.Assemble(assembler.Request{
 			Reads:  reads,
@@ -174,9 +193,12 @@ func Table3(sc Scale) ([]Table3Row, string, error) {
 			FullScale: simdata.BGlumae().FullScale,
 		})
 		if err != nil {
-			return nil, "", fmt.Errorf("table3 %s: %w", name, err)
+			return Table3Row{}, fmt.Errorf("table3 %s: %w", name, err)
 		}
-		rows = append(rows, Table3Row{Assembler: name, TTC: res.TTC, PaperTTC: paper[name]})
+		return Table3Row{Assembler: name, TTC: res.TTC, PaperTTC: paper[name]}, nil
+	})
+	if err != nil {
+		return nil, "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table III: baseline TTC, 2-node c3.2xlarge cluster, B. Glumae, k=%d\n", k)
@@ -264,35 +286,51 @@ func Table5(sc Scale) ([]Table5Row, string, error) {
 		dopts.K = k
 	}
 
-	// Assemble each tool across the k plan once, then merge per
-	// option.
-	perTool := map[string][][]seq.FastaRecord{}
+	// Assemble each tool×k unit concurrently, then merge and evaluate
+	// per option. Submission order keeps perTool's per-tool contig
+	// lists in k-plan order, as the serial loop produced.
+	type asmUnit struct {
+		tool string
+		k    int
+	}
+	var units []asmUnit
 	for _, name := range []string{"ray", "abyss", "contrail", "trinity"} {
-		a, err := assembler.Get(name)
-		if err != nil {
-			return nil, "", err
-		}
-		nodes := 2
-		if !a.Info().MultiNode() {
-			nodes = 1
-		}
 		toolKs := ks
 		if name == "trinity" {
 			// Trinity runs its own single-k strategy.
 			toolKs = ks[:1]
 		}
 		for _, k := range toolKs {
-			res, err := a.Assemble(assembler.Request{
-				Reads:  reads,
-				Params: assembler.Params{K: k},
-				Nodes:  nodes, CoresPerNode: 8,
-				FullScale: ds.Profile.FullScale,
-			})
-			if err != nil {
-				return nil, "", fmt.Errorf("table5 %s k=%d: %w", name, k, err)
-			}
-			perTool[name] = append(perTool[name], res.Contigs)
+			units = append(units, asmUnit{tool: name, k: k})
 		}
+	}
+	contigSets, err := sweepMap(len(units), func(i int) ([]seq.FastaRecord, error) {
+		u := units[i]
+		a, err := assembler.Get(u.tool)
+		if err != nil {
+			return nil, err
+		}
+		nodes := 2
+		if !a.Info().MultiNode() {
+			nodes = 1
+		}
+		res, err := a.Assemble(assembler.Request{
+			Reads:  reads,
+			Params: assembler.Params{K: u.k},
+			Nodes:  nodes, CoresPerNode: 8,
+			FullScale: ds.Profile.FullScale,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table5 %s k=%d: %w", u.tool, u.k, err)
+		}
+		return res.Contigs, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	perTool := map[string][][]seq.FastaRecord{}
+	for i, set := range contigSets {
+		perTool[units[i].tool] = append(perTool[units[i].tool], set)
 	}
 	options := []struct {
 		label string
@@ -305,8 +343,8 @@ func Table5(sc Scale) ([]Table5Row, string, error) {
 		{"Ray+Contrail+ABySS", []string{"ray", "contrail", "abyss"}},
 		{"Trinity", []string{"trinity"}},
 	}
-	var rows []Table5Row
-	for _, opt := range options {
+	rows, err := sweepMap(len(options), func(i int) (Table5Row, error) {
+		opt := options[i]
 		var sets [][]seq.FastaRecord
 		for _, tool := range opt.tools {
 			sets = append(sets, perTool[tool]...)
@@ -317,9 +355,12 @@ func Table5(sc Scale) ([]Table5Row, string, error) {
 		// the full expressed mRNAs.
 		m, err := detonate.Evaluate(merged, ds.Annotations, ds.Expression, dopts)
 		if err != nil {
-			return nil, "", err
+			return Table5Row{}, err
 		}
-		rows = append(rows, Table5Row{Option: opt.label, Metrics: m})
+		return Table5Row{Option: opt.label, Metrics: m}, nil
+	})
+	if err != nil {
+		return nil, "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table V: transcript assembly quality, B. Glumae (DETONATE reimplementation)\n")
@@ -389,7 +430,34 @@ func Fig3(sc Scale, nodeCounts []int) ([]Fig3Point, string, error) {
 	raw := ds.Reads.Reads
 	nFree := dropN(raw)
 	k := scaledK(ds)
-	var pts []Fig3Point
+	// One cell per (assembler, node count) grid point; the rendering
+	// below walks the ordered results row by row.
+	names := []string{"ray", "abyss", "contrail"}
+	pts, err := sweepMap(len(names)*len(nodeCounts), func(i int) (Fig3Point, error) {
+		name := names[i/len(nodeCounts)]
+		n := nodeCounts[i%len(nodeCounts)]
+		a, err := assembler.Get(name)
+		if err != nil {
+			return Fig3Point{}, err
+		}
+		reads := raw
+		if name == "contrail" {
+			reads = nFree
+		}
+		res, err := a.Assemble(assembler.Request{
+			Reads:  reads,
+			Params: assembler.Params{K: k, MinCoverage: 2},
+			Nodes:  n, CoresPerNode: 8,
+			FullScale: simdata.PCrispa().FullScale,
+		})
+		if err != nil {
+			return Fig3Point{}, fmt.Errorf("fig3 %s@%d: %w", name, n, err)
+		}
+		return Fig3Point{Assembler: name, Nodes: n, TTC: res.TTC}, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 3: scale-out of the assemblers, P. Crispa, c3.2xlarge, k=%d\n", k)
 	fmt.Fprintf(&b, "%-8s", "nodes")
@@ -397,30 +465,14 @@ func Fig3(sc Scale, nodeCounts []int) ([]Fig3Point, string, error) {
 		fmt.Fprintf(&b, "%12d", n)
 	}
 	b.WriteString("\n")
-	for _, name := range []string{"ray", "abyss", "contrail"} {
-		a, err := assembler.Get(name)
-		if err != nil {
-			return nil, "", err
+	for i, p := range pts {
+		if i%len(nodeCounts) == 0 {
+			fmt.Fprintf(&b, "%-8s", p.Assembler)
 		}
-		reads := raw
-		if name == "contrail" {
-			reads = nFree
+		fmt.Fprintf(&b, "%12.0f", p.TTC.Seconds())
+		if i%len(nodeCounts) == len(nodeCounts)-1 {
+			b.WriteString("\n")
 		}
-		fmt.Fprintf(&b, "%-8s", name)
-		for _, n := range nodeCounts {
-			res, err := a.Assemble(assembler.Request{
-				Reads:  reads,
-				Params: assembler.Params{K: k, MinCoverage: 2},
-				Nodes:  n, CoresPerNode: 8,
-				FullScale: simdata.PCrispa().FullScale,
-			})
-			if err != nil {
-				return nil, "", fmt.Errorf("fig3 %s@%d: %w", name, n, err)
-			}
-			pts = append(pts, Fig3Point{Assembler: name, Nodes: n, TTC: res.TTC})
-			fmt.Fprintf(&b, "%12.0f", res.TTC.Seconds())
-		}
-		b.WriteString("\n")
 	}
 	b.WriteString("paper shape: Ray gains marginally, ABySS is near-flat, Contrail is slowest\n" +
 		"at few nodes and converges toward the MPI tools as nodes are added\n")
@@ -462,7 +514,30 @@ func Fig4a(sc Scale) ([]Fig4aPoint, string, error) {
 	k := scaledK(ds)
 	fractions := []float64{0.25, 0.5, 1.0}
 	coreCounts := []int{8, 16, 24, 32}
-	var pts []Fig4aPoint
+	// Materialize each input-size subset once (shared read-only across
+	// that row's cells), then fan the full (fraction, cores) grid.
+	subs := make([]*simdata.Dataset, len(fractions))
+	for i, f := range fractions {
+		subs[i] = ds.Subset(f)
+	}
+	pts, err := sweepMap(len(fractions)*len(coreCounts), func(i int) (Fig4aPoint, error) {
+		sub := subs[i/len(coreCounts)]
+		f := fractions[i/len(coreCounts)]
+		cores := coreCounts[i%len(coreCounts)]
+		res, err := a.Assemble(assembler.Request{
+			Reads:  sub.Reads.Reads,
+			Params: assembler.Params{K: k, MinCoverage: 2},
+			Nodes:  cores / 8, CoresPerNode: 8,
+			FullScale: sub.Profile.FullScale,
+		})
+		if err != nil {
+			return Fig4aPoint{}, fmt.Errorf("fig4a %.2f@%d: %w", f, cores, err)
+		}
+		return Fig4aPoint{Fraction: f, Cores: cores, TTC: res.TTC}, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 4 (upper): Ray TTC vs input size and cores, r3.2xlarge, k=%d\n", k)
 	fmt.Fprintf(&b, "%-10s", "input")
@@ -470,23 +545,14 @@ func Fig4a(sc Scale) ([]Fig4aPoint, string, error) {
 		fmt.Fprintf(&b, "%10dc", c)
 	}
 	b.WriteString("\n")
-	for _, f := range fractions {
-		sub := ds.Subset(f)
-		fmt.Fprintf(&b, "%-10s", fmt.Sprintf("%.0f%%", f*100))
-		for _, cores := range coreCounts {
-			res, err := a.Assemble(assembler.Request{
-				Reads:  sub.Reads.Reads,
-				Params: assembler.Params{K: k, MinCoverage: 2},
-				Nodes:  cores / 8, CoresPerNode: 8,
-				FullScale: sub.Profile.FullScale,
-			})
-			if err != nil {
-				return nil, "", fmt.Errorf("fig4a %.2f@%d: %w", f, cores, err)
-			}
-			pts = append(pts, Fig4aPoint{Fraction: f, Cores: cores, TTC: res.TTC})
-			fmt.Fprintf(&b, "%11.0f", res.TTC.Seconds())
+	for i, p := range pts {
+		if i%len(coreCounts) == 0 {
+			fmt.Fprintf(&b, "%-10s", fmt.Sprintf("%.0f%%", p.Fraction*100))
 		}
-		b.WriteString("\n")
+		fmt.Fprintf(&b, "%11.0f", p.TTC.Seconds())
+		if i%len(coreCounts) == len(coreCounts)-1 {
+			b.WriteString("\n")
+		}
 	}
 	b.WriteString("paper shape: TTC grows with input size; modest gains from more cores\n")
 	return pts, b.String(), nil
@@ -507,17 +573,18 @@ func Fig4b(sc Scale) ([]core.MultiKResult, string, error) {
 		// can still assemble.
 		ks = []int{19, 21, 23, 25}
 	}
-	var rows []core.MultiKResult
+	nodeCounts := []int{1, 2, 3}
+	rows, err := sweepMap(len(nodeCounts), func(i int) (core.MultiKResult, error) {
+		return core.MultiKMakespan(partial, "ray", ks, nodeCounts[i], 1, "r3.2xlarge")
+	})
+	if err != nil {
+		return nil, "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 4 (lower): multi-k assembly step (Ray, %d k values) vs nodes\n", len(ks))
 	fmt.Fprintf(&b, "%-8s %14s\n", "nodes", "makespan (s)")
-	for _, n := range []int{1, 2, 3} {
-		r, err := core.MultiKMakespan(partial, "ray", ks, n, 1, "r3.2xlarge")
-		if err != nil {
-			return nil, "", err
-		}
-		rows = append(rows, r)
-		fmt.Fprintf(&b, "%-8d %14.0f\n", n, r.Makespan.Seconds())
+	for i, r := range rows {
+		fmt.Fprintf(&b, "%-8d %14.0f\n", nodeCounts[i], r.Makespan.Seconds())
 	}
 	b.WriteString("paper shape: strong gain 1→2 nodes; 3 nodes still a slight gain over 2\n")
 	return rows, b.String(), nil
@@ -548,24 +615,30 @@ func Fig5(sc Scale) ([]Fig5Row, string, error) {
 	} else {
 		prof = full
 	}
-	ds, err := simdata.Generate(prof)
+	ds, err := simdata.GenerateCached(prof)
 	if err != nil {
 		return nil, "", err
 	}
-	var rows []Fig5Row
-	var b strings.Builder
-	fmt.Fprintf(&b, "Fig. 5 / sample run: end-to-end pipeline, %s, 3 assemblers × %d k-mers\n",
-		ds.Profile.Organism, len(prof.FullScale.AssemblyKmers))
-	for _, scheme := range []core.MatchingScheme{S2(), S1()} {
+	schemes := []core.MatchingScheme{S2(), S1()}
+	rows, err := sweepMap(len(schemes), func(i int) (Fig5Row, error) {
 		cfg := core.DefaultConfig()
-		cfg.Scheme = scheme
+		cfg.Scheme = schemes[i]
 		cfg.Pattern = core.DistributedDynamic
 		rep, err := core.Run(ds, cfg)
 		if err != nil {
-			return nil, "", fmt.Errorf("fig5 %v: %w", scheme, err)
+			return Fig5Row{}, fmt.Errorf("fig5 %v: %w", schemes[i], err)
 		}
-		rows = append(rows, Fig5Row{Scheme: scheme, Report: rep})
-		fmt.Fprintf(&b, "\nscheme %v (PB on %d nodes):\n", scheme, rep.AssemblyNodes)
+		return Fig5Row{Scheme: schemes[i], Report: rep}, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 / sample run: end-to-end pipeline, %s, 3 assemblers × %d k-mers\n",
+		ds.Profile.Organism, len(prof.FullScale.AssemblyKmers))
+	for _, row := range rows {
+		rep := row.Report
+		fmt.Fprintf(&b, "\nscheme %v (PB on %d nodes):\n", row.Scheme, rep.AssemblyNodes)
 		for _, s := range rep.Stages {
 			fmt.Fprintf(&b, "  %-10s %10v\n", s.Name, s.Duration())
 		}

@@ -7,21 +7,27 @@
 //	GET  /api/profiles          list dataset profiles
 //	GET  /api/assemblers        list integrated assemblers
 //	POST /api/runs              submit a pipeline run
+//	POST /api/batch             submit a batch, wait for ordered results
 //	GET  /api/runs              list runs and statuses
 //	GET  /api/runs/{id}         one run's report
 //	GET  /api/runs/{id}/transcripts   assembled transcripts (FASTA)
 //	GET  /api/runs/{id}/trace   Chrome trace_event JSON for the run
 //	GET  /api/metrics           Prometheus text exposition
 //
-// Submitted runs execute asynchronously with a bounded worker pool;
-// each run gets its own simulated cloud (and its own span tree and
-// metric registry), so concurrent users cannot interfere. The
-// /api/metrics endpoint serves the server-level registry: gateway
-// counters plus each finished run's snapshot gauges.
+// Submitted runs execute asynchronously on a fixed pool of worker
+// goroutines fed by a bounded queue: when the queue is full, POST
+// /api/runs answers 429 Too Many Requests instead of accepting
+// unbounded backlog. Each run gets its own simulated cloud (and its
+// own span tree and metric registry), so concurrent users cannot
+// interfere. The /api/metrics endpoint serves the server-level
+// registry: gateway counters plus aggregate TTC/cost histograms over
+// finished runs (per-run values stay in the run views, keeping metric
+// cardinality constant under sustained load).
 package gateway
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -35,6 +41,7 @@ import (
 	"rnascale/internal/obs"
 	"rnascale/internal/seq"
 	"rnascale/internal/simdata"
+	"rnascale/internal/sweep"
 )
 
 // Gateway-level metric names (the per-run rnascale_* metrics live in
@@ -44,11 +51,31 @@ const (
 	MetricRuns = "rnascale_gateway_runs_total"
 	// MetricRunsInflight gauges queued-or-running runs.
 	MetricRunsInflight = "rnascale_gateway_runs_inflight"
-	// MetricRunTTC gauges each finished run's TTC, labelled by run id.
+	// MetricRunTTC is a histogram of finished-run TTCs. Earlier
+	// versions kept one gauge per run id, which grew the exposition
+	// without bound; the histogram's _sum/_count keep the aggregate
+	// while per-run values remain in each RunView.
 	MetricRunTTC = "rnascale_gateway_run_ttc_seconds"
-	// MetricRunCost gauges each finished run's bill, labelled by run id.
+	// MetricRunCost is a histogram of finished-run cloud bills.
 	MetricRunCost = "rnascale_gateway_run_cost_usd"
 )
+
+// costBuckets spans the USD range of the paper's experiments, from
+// sub-dollar tiny runs to full-scale multi-hundred-dollar bills.
+func costBuckets() []float64 {
+	return []float64{0.1, 0.5, 1, 5, 20, 100, 500}
+}
+
+// DefaultMaxQueued is the submission queue bound when the operator
+// does not choose one.
+const DefaultMaxQueued = 64
+
+// ErrQueueFull is returned by run submission when the queue is at its
+// bound; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("gateway: run queue full")
+
+// errClosed rejects submissions after Close.
+var errClosed = errors.New("gateway: server closed")
 
 // RunRequest is the submission payload.
 type RunRequest struct {
@@ -104,34 +131,96 @@ type RunView struct {
 	Recovery string `json:"recovery,omitempty"`
 }
 
-// run is the internal record.
+// run is the internal record. cfg and ds hold the prepared work for a
+// queued run; the worker that picks it up clears ds so the dataset is
+// not pinned past the run (profiles are memoized in simdata anyway).
 type run struct {
 	view   RunView
 	report *core.Report
 	obs    *obs.Obs
+	cfg    core.Config
+	ds     *simdata.Dataset
 }
 
 // Server is the gateway. Create with NewServer and mount via Handler.
 type Server struct {
-	mu      sync.Mutex
-	runs    map[string]*run
-	order   []string
-	nextID  int
-	workers chan struct{}
-	wg      sync.WaitGroup
-	metrics *obs.Registry
+	mu            sync.Mutex
+	cond          *sync.Cond // signalled when queue grows or server closes
+	runs          map[string]*run
+	order         []string
+	queue         []string // run ids waiting for a worker, FIFO
+	nextID        int
+	maxQueued     int
+	maxConcurrent int
+	closed        bool
+	workerWG      sync.WaitGroup // the fixed worker pool
+	runsWG        sync.WaitGroup // submitted-but-not-terminal runs
+	metrics       *obs.Registry
 }
 
 // NewServer returns a gateway executing at most maxConcurrent runs at
-// once (minimum 1).
+// once (minimum 1) on a fixed pool of worker goroutines, holding at
+// most DefaultMaxQueued submissions waiting for a worker (tune with
+// SetMaxQueued). Call Close to drain the queue and stop the workers.
 func NewServer(maxConcurrent int) *Server {
 	if maxConcurrent < 1 {
 		maxConcurrent = 1
 	}
-	return &Server{
-		runs:    map[string]*run{},
-		workers: make(chan struct{}, maxConcurrent),
-		metrics: obs.NewRegistry(),
+	s := &Server{
+		runs:          map[string]*run{},
+		maxQueued:     DefaultMaxQueued,
+		maxConcurrent: maxConcurrent,
+		metrics:       obs.NewRegistry(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.workerWG.Add(maxConcurrent)
+	for i := 0; i < maxConcurrent; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// SetMaxQueued bounds the submission queue: POSTs arriving while
+// maxQueued runs already wait for a worker are rejected with
+// ErrQueueFull (HTTP 429). Zero rejects every submission outright;
+// there is no unbounded setting.
+func (s *Server) SetMaxQueued(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.mu.Lock()
+	s.maxQueued = n
+	s.mu.Unlock()
+}
+
+// worker executes queued runs until Close. Each iteration pops the
+// oldest queued run; the queue is drained before the worker exits, so
+// Close never abandons an accepted submission.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		id := s.queue[0]
+		s.queue = s.queue[1:]
+		rn := s.runs[id]
+		cfg, ds := rn.cfg, rn.ds
+		rn.ds = nil
+		s.mu.Unlock()
+
+		s.setStatus(id, StatusRunning, nil, "")
+		rep, err := core.Run(ds, cfg)
+		if err != nil {
+			s.setStatus(id, StatusFailed, rep, err.Error())
+			continue
+		}
+		s.setStatus(id, StatusDone, rep, "")
 	}
 }
 
@@ -146,13 +235,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/plans", s.handlePlan)
 	mux.HandleFunc("/api/runs", s.handleRuns)
 	mux.HandleFunc("/api/runs/", s.handleRun)
+	mux.HandleFunc("/api/batch", s.handleBatch)
 	mux.HandleFunc("/api/metrics", s.handleMetrics)
 	return mux
 }
 
 // Wait blocks until every submitted run has finished (used by tests
 // and graceful shutdown).
-func (s *Server) Wait() { s.wg.Wait() }
+func (s *Server) Wait() { s.runsWG.Wait() }
+
+// Close stops accepting submissions, drains the queue and waits for
+// the worker pool to exit. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.workerWG.Wait()
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -224,7 +324,14 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		view, err := s.submit(req)
-		if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeErr(w, http.StatusTooManyRequests, "%v", err)
+			return
+		case errors.Is(err, errClosed):
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		case err != nil:
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
@@ -326,7 +433,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// submit validates and enqueues a run.
+// submit validates and enqueues a run. A full queue rejects the
+// submission with ErrQueueFull rather than accepting unbounded
+// backlog (the old per-run-goroutine design held every submission
+// alive, so a flood of POSTs grew memory without limit).
 func (s *Server) submit(req RunRequest) (RunView, error) {
 	cfg, ds, err := buildConfig(req)
 	if err != nil {
@@ -334,44 +444,135 @@ func (s *Server) submit(req RunRequest) (RunView, error) {
 	}
 	cfg.Obs = obs.New()
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return RunView{}, errClosed
+	}
+	if len(s.queue) >= s.maxQueued {
+		s.mu.Unlock()
+		return RunView{}, ErrQueueFull
+	}
 	s.nextID++
 	id := fmt.Sprintf("run-%05d", s.nextID)
 	view := RunView{ID: id, Status: StatusQueued, Request: req}
-	rn := &run{view: view, obs: cfg.Obs}
+	rn := &run{view: view, obs: cfg.Obs, cfg: cfg, ds: ds}
 	s.runs[id] = rn
 	s.order = append(s.order, id)
+	s.queue = append(s.queue, id)
+	s.runsWG.Add(1)
 	s.mu.Unlock()
 	s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(1)
-
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		s.workers <- struct{}{}
-		defer func() { <-s.workers }()
-		s.setStatus(id, StatusRunning, nil, "")
-		rep, err := core.Run(ds, cfg)
-		if err != nil {
-			s.setStatus(id, StatusFailed, rep, err.Error())
-			return
-		}
-		s.setStatus(id, StatusDone, rep, "")
-	}()
-	// Return the pre-spawn snapshot: the worker may already be
+	s.cond.Signal()
+	// Return the pre-enqueue snapshot: a worker may already be
 	// mutating rn.view under the lock.
 	return view, nil
 }
 
-// setStatus updates a run's view under the lock.
+// handleBatch accepts {"runs": [...]} and executes the whole batch
+// synchronously on the sweep engine, answering with the finished run
+// views in submission order. Every request is validated before any
+// work starts (one bad entry rejects the batch), and the batch size
+// is capped by the queue bound.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req struct {
+		Runs []RunRequest `json:"runs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Runs) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	s.mu.Lock()
+	maxQueued, closed := s.maxQueued, s.closed
+	s.mu.Unlock()
+	if closed {
+		writeErr(w, http.StatusServiceUnavailable, "%v", errClosed)
+		return
+	}
+	if len(req.Runs) > maxQueued {
+		writeErr(w, http.StatusTooManyRequests,
+			"batch of %d exceeds queue bound %d", len(req.Runs), maxQueued)
+		return
+	}
+	cfgs := make([]core.Config, len(req.Runs))
+	dss := make([]*simdata.Dataset, len(req.Runs))
+	for i, rr := range req.Runs {
+		cfg, ds, err := buildConfig(rr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "run %d: %v", i, err)
+			return
+		}
+		cfg.Obs = obs.New()
+		cfgs[i] = cfg
+		dss[i] = ds
+	}
+	ids := make([]string, len(req.Runs))
+	s.mu.Lock()
+	for i := range req.Runs {
+		s.nextID++
+		ids[i] = fmt.Sprintf("run-%05d", s.nextID)
+		s.runs[ids[i]] = &run{
+			view: RunView{ID: ids[i], Status: StatusQueued, Request: req.Runs[i]},
+			obs:  cfgs[i].Obs,
+		}
+		s.order = append(s.order, ids[i])
+		s.runsWG.Add(1)
+	}
+	s.mu.Unlock()
+	s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(float64(len(ids)))
+	views, err := sweep.Map(len(ids), func(i int) (RunView, error) {
+		s.setStatus(ids[i], StatusRunning, nil, "")
+		rep, runErr := core.Run(dss[i], cfgs[i])
+		if runErr != nil {
+			s.setStatus(ids[i], StatusFailed, rep, runErr.Error())
+		} else {
+			s.setStatus(ids[i], StatusDone, rep, "")
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.runs[ids[i]].view, nil
+	}, sweep.Options{Workers: s.maxConcurrent})
+	if err != nil {
+		// Only a panicking pipeline lands here; the cells themselves
+		// fold run failures into their views. Settle any run the
+		// panic left non-terminal so Wait and the inflight gauge
+		// stay balanced.
+		for _, id := range ids {
+			s.mu.Lock()
+			st := s.runs[id].view.Status
+			s.mu.Unlock()
+			if st != StatusDone && st != StatusFailed {
+				s.setStatus(id, StatusFailed, nil, err.Error())
+			}
+		}
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+// setStatus updates a run's view under the lock. Terminal statuses
+// settle the run's accounting: the status counter, the inflight
+// gauge, the aggregate TTC/cost histograms and the Wait group.
 func (s *Server) setStatus(id string, status RunStatus, rep *core.Report, errMsg string) {
 	if status == StatusDone || status == StatusFailed {
 		s.metrics.Counter(MetricRuns, "Gateway runs by terminal status.",
 			obs.Labels{"status": string(status)}).Inc()
 		s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(-1)
+		defer s.runsWG.Done()
 	}
 	if rep != nil && status == StatusDone {
-		labels := obs.Labels{"run": id}
-		s.metrics.Gauge(MetricRunTTC, "Finished run TTC, virtual seconds.", labels).Set(rep.TTC.Seconds())
-		s.metrics.Gauge(MetricRunCost, "Finished run cloud bill, USD.", labels).Set(rep.CostUSD)
+		s.metrics.Histogram(MetricRunTTC, "Finished run TTC, virtual seconds.", nil, nil).
+			Observe(rep.TTC.Seconds())
+		s.metrics.Histogram(MetricRunCost, "Finished run cloud bill, USD.", costBuckets(), nil).
+			Observe(rep.CostUSD)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -419,7 +620,9 @@ func buildConfig(req RunRequest) (core.Config, *simdata.Dataset, error) {
 		}
 		prof = p
 	}
-	ds, err := simdata.Generate(prof)
+	// Datasets are immutable through the pipeline, so every submission
+	// of the same profile shares one memoized generation.
+	ds, err := simdata.GenerateCached(prof)
 	if err != nil {
 		return core.Config{}, nil, err
 	}

@@ -15,6 +15,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	s := NewServer(2)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 

@@ -30,13 +30,51 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		`rnascale_gateway_runs_total{status="done"} 1`,
 		`rnascale_gateway_runs_inflight 0`,
-		`rnascale_gateway_run_ttc_seconds{run="` + view.ID + `"}`,
-		`rnascale_gateway_run_cost_usd{run="` + view.ID + `"}`,
+		`rnascale_gateway_run_ttc_seconds_count 1`,
+		`rnascale_gateway_run_ttc_seconds_sum `,
+		`rnascale_gateway_run_cost_usd_count 1`,
 		"# TYPE rnascale_gateway_runs_total counter",
+		"# TYPE rnascale_gateway_run_ttc_seconds histogram",
+		"# TYPE rnascale_gateway_run_cost_usd histogram",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q:\n%s", want, text)
 		}
+	}
+	// The run id must not appear as a label: per-run series grew the
+	// exposition without bound under sustained submission.
+	if strings.Contains(text, `run="`) {
+		t.Errorf("exposition still carries per-run labels:\n%s", text)
+	}
+	if view.ID == "" {
+		t.Fatal("no run id")
+	}
+}
+
+// TestMetricCardinalityConstant pins the fix for the unbounded metric
+// growth: the exposition is the same size after 1 run and after many,
+// because finished runs feed aggregate histograms instead of minting
+// one labelled series each.
+func TestMetricCardinalityConstant(t *testing.T) {
+	s, ts := newTestServer(t)
+	scrapeLines := func() int {
+		resp, err := http.Get(ts.URL + "/api/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return len(strings.Split(strings.TrimSpace(string(body)), "\n"))
+	}
+	submitRun(t, ts, RunRequest{Profile: "tiny", Assemblers: []string{"velvet"}})
+	s.Wait()
+	base := scrapeLines()
+	for i := 0; i < 6; i++ {
+		submitRun(t, ts, RunRequest{Profile: "tiny", Assemblers: []string{"velvet"}})
+	}
+	s.Wait()
+	if after := scrapeLines(); after != base {
+		t.Errorf("exposition grew from %d to %d lines over repeated runs", base, after)
 	}
 }
 

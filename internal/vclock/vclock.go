@@ -52,18 +52,26 @@ func (d Duration) Seconds() float64 { return float64(d) }
 // Hours reports the duration as fractional hours.
 func (d Duration) Hours() float64 { return float64(d) / 3600 }
 
-// String formats a duration as e.g. "2h47m12s" or "882s" for short
-// spans, matching the style used in the paper's sample-run narrative.
+// String formats a duration as e.g. "2h47m12s", or "42s"/"42.50s"
+// for spans under two minutes, matching the style used in the paper's
+// sample-run narrative.
+//
+// The format seam sits at 120 displayed seconds: the value is first
+// rounded to its display precision (hundredths below the seam, whole
+// seconds above), and the rounded value chooses the branch. Rounding
+// after branching printed "120.00s" for 119.999 (a number the seconds
+// branch promises never to show) and "60.00s" for 59.9999 (fractional
+// digits on a value that displays as a whole second).
 func (d Duration) String() string {
 	s := float64(d)
 	if s < 0 {
 		return "-" + Duration(-d).String()
 	}
-	if s < 120 {
-		if s == math.Trunc(s) {
-			return fmt.Sprintf("%.0fs", s)
+	if r := math.Round(s*100) / 100; r < 120 {
+		if r == math.Trunc(r) {
+			return fmt.Sprintf("%.0fs", r)
 		}
-		return fmt.Sprintf("%.2fs", s)
+		return fmt.Sprintf("%.2fs", r)
 	}
 	total := int64(math.Round(s))
 	h := total / 3600

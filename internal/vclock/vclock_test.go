@@ -29,6 +29,37 @@ func TestDurationString(t *testing.T) {
 	}
 }
 
+// TestDurationStringSeam pins the format seam: the value is rounded
+// to display precision before the <120s branch is chosen, so no
+// rendered string ever shows a seconds value of 120 or more, and no
+// whole-second value carries fractional digits. (Duration(60) renders
+// "60s", so 59.9999 — indistinguishable at display precision — must
+// render the same, not "60.00s".)
+func TestDurationStringSeam(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{119.999, "2m00s"},   // rounds across the seam: minute branch
+		{119.996, "2m00s"},   // smallest value that displays as 120.00
+		{119.994, "119.99s"}, // still under the seam after rounding
+		{59.9999, "60s"},     // rounds to a whole second: integer form
+		{60, "60s"},          // the value 59.9999 is indistinguishable from
+		{60.004, "60s"},      // rounds down to a whole second
+		{60.005, "60.01s"},   // genuinely fractional after rounding
+		{0.004, "0s"},        // rounds to zero
+		{0.005, "0.01s"},     // smallest nonzero rendering
+		{-119.999, "-2m00s"}, // sign recurses through the same seam
+		{179.999, "3m00s"},   // minute branch rounds whole seconds
+		{7199.9, "2h00m00s"}, // hour rollover from rounding
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%v).String() = %q, want %q", float64(c.d), got, c.want)
+		}
+	}
+}
+
 func TestTimeArithmetic(t *testing.T) {
 	var zero Time
 	later := zero.Add(90 * Second)
