@@ -10,7 +10,7 @@ COVER_SPECS = internal/cloud:80 internal/pilot:80 internal/core:75
 FUZZ_TARGETS = FuzzParseFasta FuzzParseFastq FuzzParseSFA
 FUZZ_TIME ?= 10s
 
-.PHONY: all build test vet race cover fuzz-smoke sweep-determinism check bench clean
+.PHONY: all build test vet race cover fuzz-smoke sweep-determinism journal-determinism check bench clean
 
 all: build
 
@@ -51,10 +51,20 @@ fuzz-smoke:
 sweep-determinism:
 	$(GO) test -race -run 'TestMapDeterminismAcrossWorkerCounts|TestDatasetCacheSingleGeneration' ./internal/sweep
 
+# journal-determinism pins the checkpoint/resume contract: a run is
+# killed at three injected virtual-time points (mid-PA, mid-PB,
+# mid-PC), resumed from its write-ahead journal, and the resumed
+# report, metrics and Chrome trace must be byte-identical to an
+# uninterrupted run's — with zero journaled units re-executed. The
+# driver-crash chaos soak races resume against worker faults.
+journal-determinism:
+	$(GO) test -race -run 'TestKillAndResumeByteIdentical|TestResumeOfCompleteJournal|TestChaosDriverCrashResumeSoak' ./internal/core
+
 # check is the gate a change must pass before review: static analysis,
 # the full test suite under the race detector, the coverage floors,
-# the sweep determinism contract and a fuzz smoke pass.
-check: vet race cover sweep-determinism fuzz-smoke
+# the sweep determinism contract, the journal resume contract and a
+# fuzz smoke pass.
+check: vet race cover sweep-determinism journal-determinism fuzz-smoke
 
 # bench regenerates the paper tables at quick scale and refreshes
 # BENCH_results.json (per-stage TTC/cost snapshots, plus the pass's

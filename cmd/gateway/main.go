@@ -28,10 +28,17 @@ func main() {
 		concurrency = flag.Int("concurrency", 2, "max concurrent pipeline runs")
 		maxQueued   = flag.Int("max-queued", gateway.DefaultMaxQueued,
 			"max submissions waiting for a worker before POSTs get 429")
+		journalDir = flag.String("journal-dir", "",
+			"persist the run table and per-run journals here; a restart re-adopts in-flight runs")
 	)
 	flag.Parse()
 	srv := gateway.NewServer(*concurrency)
 	srv.SetMaxQueued(*maxQueued)
+	if *journalDir != "" {
+		if err := srv.EnableJournal(*journalDir); err != nil {
+			log.Fatal(err)
+		}
+	}
 	log.Printf("rnascale gateway listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,8 +41,13 @@ func main() {
 		spans      = flag.Bool("spans", false, "print the run's span tree after the summary")
 		faultSpec  = flag.String("faults", "", `fault-injection spec, e.g. "crash:p=0.1,after=600;slowxfer:x=0.5"`)
 		faultSeed  = flag.Uint64("seed", 1, "fault-injection PRNG seed (same seed replays identically)")
+		journalOut = flag.String("journal", "", "write a resumable run journal to this file")
+		resumePath = flag.String("resume", "", "resume an interrupted run from its journal (pass the original run's flags too)")
 	)
 	flag.Parse()
+	if *journalOut != "" && *resumePath != "" {
+		fatal(fmt.Errorf("-resume continues its journal in place; drop -journal"))
+	}
 
 	ds, err := rnascale.GenerateDataset(rnascale.ProfileName(*profile))
 	if err != nil {
@@ -95,7 +101,20 @@ func main() {
 	}
 	o := obs.New()
 	cfg.Obs = o
-	rep, err := rnascale.Run(ds, cfg)
+	var rep *rnascale.Report
+	if *resumePath != "" {
+		rep, err = rnascale.Resume(ds, cfg, *resumePath)
+	} else {
+		if *journalOut != "" {
+			w, jerr := rnascale.CreateJournal(*journalOut)
+			if jerr != nil {
+				fatal(jerr)
+			}
+			defer w.Close()
+			cfg.Journal = w
+		}
+		rep, err = rnascale.Run(ds, cfg)
+	}
 	if *traceOut != "" {
 		if werr := writeTo(*traceOut, o.Tracer.WriteChromeTrace); werr != nil {
 			fatal(werr)
@@ -110,7 +129,11 @@ func main() {
 		fmt.Println("span tree:")
 		o.Tracer.WriteTree(os.Stdout)
 	}
-	if rep != nil {
+	// A driver crash leaves no finished report to print — the journal
+	// is the artifact that survives.
+	var dce *rnascale.DriverCrashError
+	crashed := errors.As(err, &dce)
+	if rep != nil && !crashed {
 		fmt.Print(rep.Summary())
 		if *verbose {
 			fmt.Println("per-assembly results:")
@@ -134,12 +157,20 @@ func main() {
 		if cfg.FaultPlan != nil {
 			fmt.Printf("fault recovery (seed %d): %v\n", *faultSeed, rep.Recovery)
 		}
+		if rep.Journal != nil && rep.Journal.Resumed {
+			fmt.Printf("resumed from journal: %d records and %d units replayed, %d units executed live\n",
+				rep.Journal.RecordsReplayed, rep.Journal.UnitsReplayed, rep.Journal.UnitsExecuted)
+		}
 		if *verbose {
 			fmt.Println("\npilot timeline:")
 			fmt.Print(rep.Timeline(72))
 		}
 	}
 	if err != nil {
+		if crashed && *journalOut != "" {
+			fmt.Fprintf(os.Stderr, "rnapipe: journal survives at %s; rerun with the same flags plus -resume %s\n",
+				*journalOut, *journalOut)
+		}
 		fatal(err)
 	}
 }

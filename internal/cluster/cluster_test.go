@@ -204,3 +204,115 @@ func TestBuildCostAccrues(t *testing.T) {
 		t.Errorf("cost $%.2f", cost)
 	}
 }
+
+func TestRemoveLastVM(t *testing.T) {
+	p := newProvider()
+	c, err := Build(p, "c3.2xlarge", 1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := c.Head()
+	if err := c.RemoveVM(head); err != nil {
+		t.Fatalf("removing the only VM: %v", err)
+	}
+	if c.Size() != 0 {
+		t.Errorf("size %d after removing the last VM", c.Size())
+	}
+	if c.HasVM(head.ID) {
+		t.Error("removed VM still a member")
+	}
+	if n := len(c.Scheduler().ActiveNodes()); n != 0 {
+		t.Errorf("%d queue nodes survive an empty cluster", n)
+	}
+	// Removing it again is a membership error, not a crash.
+	if err := c.RemoveVM(head); err == nil {
+		t.Error("second removal of the same VM accepted")
+	}
+}
+
+func TestReplaceAlreadyRemovedVM(t *testing.T) {
+	p := newProvider()
+	c, err := Build(p, "c3.2xlarge", 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker := c.VMs()[1]
+	if err := c.RemoveVM(worker); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReplaceVM(worker); err == nil {
+		t.Fatal("replacement of an already-removed VM accepted")
+	}
+	// The failed replacement booted nothing.
+	if c.Size() != 1 {
+		t.Errorf("size %d after rejected replacement, want 1", c.Size())
+	}
+	// A VM from a different cluster is equally not a member.
+	other, err := Build(p, "c3.2xlarge", 1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReplaceVM(other.Head()); err == nil {
+		t.Error("replacement of a foreign VM accepted")
+	}
+}
+
+func TestReplaceVMDuringInFlightStage(t *testing.T) {
+	p := newProvider()
+	c, err := Build(p, "c3.2xlarge", 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stage is in flight: a long assembly job occupies one node.
+	job, err := c.Scheduler().Submit(sge.JobSpec{
+		Name: "asm", Slots: 8, Rule: sge.SingleNode, Duration: 1000,
+	}, p.Clock().Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The other node dies mid-stage and is replaced.
+	dead := c.VMs()[1]
+	p.Terminate(dead)
+	before := p.Clock().Now()
+	repl, err := c.ReplaceVM(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.ID == dead.ID {
+		t.Error("replacement reused the dead VM")
+	}
+	if c.HasVM(dead.ID) || !c.HasVM(repl.ID) {
+		t.Error("membership after replacement wrong")
+	}
+	if c.Size() != 2 || len(c.Scheduler().ActiveNodes()) != 2 {
+		t.Errorf("size %d, queue nodes %d; want 2 and 2",
+			c.Size(), len(c.Scheduler().ActiveNodes()))
+	}
+	// Recovery is not free: the replacement boots and configures.
+	if got := p.Clock().Now() - before; got < 150 {
+		t.Errorf("replacement took %v, want >= 150s of boot+config", got)
+	}
+	// The in-flight job stands untouched...
+	jobs := c.Scheduler().Jobs()
+	if len(jobs) != 1 || jobs[0].Start != job.Start {
+		t.Errorf("in-flight job disturbed: %+v", jobs)
+	}
+	// ...and the stage can keep scheduling onto the replacement.
+	if _, err := c.Scheduler().Submit(sge.JobSpec{
+		Name: "asm2", Slots: 8, Rule: sge.SingleNode, Duration: 10,
+	}, p.Clock().Now()); err != nil {
+		t.Fatalf("job after replacement: %v", err)
+	}
+	// Replacing the head promotes the next member.
+	head := c.Head()
+	p.Terminate(head)
+	if _, err := c.ReplaceVM(head); err != nil {
+		t.Fatal(err)
+	}
+	if c.Head() == head {
+		t.Error("dead head not demoted")
+	}
+	if !c.HasVM(c.Head().ID) {
+		t.Error("promoted head is not a member")
+	}
+}

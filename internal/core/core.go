@@ -31,6 +31,7 @@ import (
 	"rnascale/internal/detonate"
 	"rnascale/internal/diffexpr"
 	"rnascale/internal/faults"
+	"rnascale/internal/journal"
 	"rnascale/internal/merge"
 	"rnascale/internal/obs"
 	"rnascale/internal/pilot"
@@ -164,6 +165,19 @@ type Config struct {
 	// injected faults are survivable by default) and to no retries
 	// otherwise.
 	Retry StageRetryPolicies
+	// Journal, when non-nil, receives a write-ahead record of the run:
+	// one record per stage boundary and per unit completion, each
+	// flushed before the run proceeds. Create with journal.Create (a
+	// durable file) or journal.NewWriter (any sink). The journal of an
+	// interrupted run can be continued with Resume.
+	Journal *journal.Writer
+	// Resume, when non-nil, replays the surviving journal prefix of an
+	// interrupted run: completed stages and units are reconstructed
+	// from their records instead of re-executing, and the run
+	// continues from the interruption point. Usually set together with
+	// Journal via Resume/ResumePipeline, which also verify the journal
+	// belongs to this config.
+	Resume *journal.Log
 }
 
 // StageRetryPolicies carries one unit retry policy per pipeline
@@ -285,6 +299,9 @@ type Report struct {
 	// Recovery summarizes fault injection and recovery (all zero when
 	// no fault plan was configured).
 	Recovery RecoveryReport
+	// Journal summarizes the run's write-ahead journal activity (nil
+	// when the run was not journaled).
+	Journal *JournalStats
 }
 
 // RecoveryReport aggregates what the fault plan did to a run and what

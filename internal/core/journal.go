@@ -1,0 +1,474 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"rnascale/internal/diffexpr"
+	"rnascale/internal/faults"
+	"rnascale/internal/journal"
+	"rnascale/internal/merge"
+	"rnascale/internal/obs"
+	"rnascale/internal/pilot"
+	"rnascale/internal/preprocess"
+	"rnascale/internal/quant"
+	"rnascale/internal/seq"
+	"rnascale/internal/simdata"
+	"rnascale/internal/vclock"
+)
+
+// DriverCrashError is returned by Run when an injected drivercrash
+// fault kills the driver process. The run's teardown does NOT happen
+// — VMs are left "running" and the report is unfinished — faithfully
+// modelling a SIGKILL of the real driver. When the run was journaled,
+// the surviving prefix on disk can be continued with Resume.
+type DriverCrashError struct {
+	// At is the drivercrash rule's virtual time; the crash strikes at
+	// the first journal checkpoint at or after it.
+	At vclock.Time
+}
+
+func (e *DriverCrashError) Error() string {
+	return fmt.Sprintf("core: driver crashed at checkpoint >= t=%v (injected drivercrash); resume from the run journal", e.At)
+}
+
+// driverCrashPanic unwinds the pipeline out of an arbitrary
+// checkpoint; Run recovers it into a DriverCrashError.
+type driverCrashPanic struct{ at vclock.Time }
+
+// journalDriftPanic aborts a resume whose replayed execution diverges
+// from the journal (corrupted file, or a config that does not match
+// the original run). Run recovers it into a plain error.
+type journalDriftPanic struct{ msg string }
+
+// JournalStats summarizes a run's write-ahead journal activity.
+type JournalStats struct {
+	// Resumed is true when the run was continued from a journal prefix.
+	Resumed bool
+	// RecordsAppended counts records written live by this process;
+	// RecordsReplayed counts prefix records consumed during resume.
+	// Their sum equals the uninterrupted run's record count.
+	RecordsAppended int
+	RecordsReplayed int
+	// UnitsExecuted counts real work-function executions (one per
+	// attempt); UnitsReplayed counts unit completions served from the
+	// journal without re-executing any work.
+	UnitsExecuted int
+	UnitsReplayed int
+}
+
+// unitCodec serializes one unit's outputs into a journal payload and
+// replays them back into run state without re-executing the work.
+type unitCodec struct {
+	encode func(res pilot.WorkResult) (json.RawMessage, error)
+	replay func(rec journal.Record, env *pilot.ExecEnv) (pilot.WorkResult, error)
+}
+
+// Journal payload schemas, one per stage. These are JSON encodings of
+// the stage outputs themselves (reads, contigs, stats tables), not of
+// the FASTA/FASTQ renderings, so replay cannot drift through a text
+// round-trip.
+type paPayload struct {
+	Shard  int              `json:"shard"`
+	Reads  []seq.Read       `json:"reads"`
+	Paired bool             `json:"paired"`
+	Stats  preprocess.Stats `json:"stats"`
+}
+
+type pbPayload struct {
+	Assembler           string            `json:"assembler"`
+	K                   int               `json:"k"`
+	Contigs             []seq.FastaRecord `json:"contigs"`
+	TTCSeconds          float64           `json:"ttcSeconds"`
+	PeakMemoryGBPerNode float64           `json:"peakMemoryGBPerNode"`
+	Messages            int64             `json:"messages,omitempty"`
+	BytesSent           int64             `json:"bytesSent,omitempty"`
+	N50                 int               `json:"n50,omitempty"`
+}
+
+type pcPayload struct {
+	PerAssembler map[string][]seq.FastaRecord `json:"perAssembler"`
+	Transcripts  []seq.FastaRecord            `json:"transcripts"`
+	MergeStats   merge.Stats                  `json:"mergeStats"`
+	Quant        *quant.Result                `json:"quant"`
+	QuantB       *quant.Result                `json:"quantB,omitempty"`
+	DiffExpr     []diffexpr.Row               `json:"diffExpr,omitempty"`
+}
+
+// configDigest fingerprints everything a resumed run must share with
+// the run that wrote the journal. It is stored in the header record
+// and re-verified on resume, so resuming under a drifted config fails
+// fast instead of producing a silently different run.
+func configDigest(cfg Config, ds *simdata.Dataset) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%v|%s|%d|%d|%d|%v|%d|%t|%d|%+v|%t|%d",
+		ds.Profile.Name, cfg.Scheme, cfg.Pattern, cfg.Assemblers,
+		cfg.InstanceType, cfg.AssemblyNodesOverride, cfg.NodesPerMPIJob,
+		cfg.ContrailNodes, cfg.Kmers, cfg.MinCoverage, cfg.ConsensusMerge,
+		cfg.ParallelPreprocessShards, cfg.Preprocess,
+		cfg.EvaluateAgainstTruth, cfg.FaultSeed)
+	if cfg.FaultPlan != nil {
+		io.WriteString(h, "|"+cfg.FaultPlan.String())
+	}
+	if cfg.ConditionB != nil {
+		fmt.Fprintf(h, "|condB:%d:%t:", len(cfg.ConditionB.Reads), cfg.ConditionB.Paired)
+		for _, r := range cfg.ConditionB.Reads {
+			io.WriteString(h, r.ID)
+			h.Write(r.Seq)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// runJournal drives the pipeline's write-ahead journal: in a live run
+// it appends a record at every checkpoint (stage boundary or unit
+// completion); in a resumed run it first consumes the surviving
+// prefix — verifying the replayed execution reproduces each record's
+// virtual time, accrued cost and artifact digest exactly — and then
+// switches to appending, so the finished journal is the same record
+// sequence an uninterrupted run would have written. It also arms the
+// drivercrash fault class against the checkpoints. All methods are
+// nil-receiver safe; a nil *runJournal is "not journaling".
+type runJournal struct {
+	pl       *Pipeline
+	w        *journal.Writer
+	injector *faults.Injector
+	resumed  bool
+
+	// Replay state, built from the resume prefix. Unit records are
+	// keyed by stage+unit; stage and lifecycle records by kind+stage.
+	pendingUnits    map[string][]journal.Record
+	pendingStage    map[string]journal.Record
+	pendingHeader   *journal.Record
+	pendingComplete *journal.Record
+	pendingCount    int
+
+	codecs       map[string]unitCodec
+	stageDigests map[string][]string
+	// armed holds drivercrash times not yet covered by the journal,
+	// ascending; the head fires at the first checkpoint at/after it.
+	armed []vclock.Time
+
+	stats JournalStats
+}
+
+func unitKey(stage, unit string) string { return stage + "\x00" + unit }
+
+func newRunJournal(pl *Pipeline, cfg Config, inj *faults.Injector) *runJournal {
+	jr := &runJournal{
+		pl:           pl,
+		w:            cfg.Journal,
+		injector:     inj,
+		resumed:      cfg.Resume != nil,
+		pendingUnits: map[string][]journal.Record{},
+		pendingStage: map[string]journal.Record{},
+		codecs:       map[string]unitCodec{},
+		stageDigests: map[string][]string{},
+	}
+	armed := inj.DriverCrashTimes()
+	if cfg.Resume != nil {
+		for i := range cfg.Resume.Records {
+			rec := cfg.Resume.Records[i]
+			switch rec.Kind {
+			case journal.KindHeader:
+				jr.pendingHeader = &rec
+			case journal.KindComplete:
+				jr.pendingComplete = &rec
+			case journal.KindUnit:
+				k := unitKey(rec.Stage, rec.Unit)
+				jr.pendingUnits[k] = append(jr.pendingUnits[k], rec)
+			default:
+				jr.pendingStage[rec.Kind+"\x00"+rec.Stage] = rec
+			}
+			jr.pendingCount++
+		}
+		// Any drivercrash the surviving journal already covers fired in
+		// a previous life of this run: disarm it, or resume would crash
+		// at the same checkpoint forever.
+		last := cfg.Resume.LastVTime()
+		kept := make([]vclock.Time, 0, len(armed))
+		for _, at := range armed {
+			if float64(at) > last {
+				kept = append(kept, at)
+			}
+		}
+		armed = kept
+	}
+	jr.armed = armed
+	return jr
+}
+
+// recording reports whether journal records flow (as opposed to a
+// journal that exists only to arm drivercrash checkpoints).
+func (jr *runJournal) recording() bool {
+	return jr != nil && (jr.w != nil || jr.resumed)
+}
+
+func (jr *runJournal) isResumed() bool { return jr != nil && jr.resumed }
+
+func (jr *runJournal) drift(format string, args ...any) {
+	panic(journalDriftPanic{msg: fmt.Sprintf(format, args...)})
+}
+
+// countRecord feeds the journal_records counter; replayed and
+// appended records both count, so a resumed run's total matches its
+// uninterrupted twin's.
+func (jr *runJournal) countRecord() {
+	jr.pl.o.Metrics.Counter(obs.MetricJournalRecords,
+		"Run journal records, replayed from a surviving prefix or appended live.", nil).Inc()
+}
+
+func (jr *runJournal) consumed() {
+	jr.pendingCount--
+	jr.stats.RecordsReplayed++
+	jr.countRecord()
+}
+
+func (jr *runJournal) append(rec journal.Record) {
+	if jr.w != nil {
+		if _, err := jr.w.Append(rec); err != nil {
+			jr.drift("append failed: %v", err)
+		}
+	}
+	jr.stats.RecordsAppended++
+	jr.countRecord()
+}
+
+// maybeCrash fires the armed drivercrash rule once the checkpoint's
+// virtual time reaches it. The triggering record is already durable,
+// so the resume sees everything up to and including this checkpoint.
+func (jr *runJournal) maybeCrash(vt float64) {
+	if jr == nil || len(jr.armed) == 0 {
+		return
+	}
+	at := jr.armed[0]
+	if vt >= float64(at) {
+		jr.armed = jr.armed[1:]
+		jr.injector.CountInjected(faults.ClassDriverCrash)
+		panic(driverCrashPanic{at: at})
+	}
+}
+
+// verify checks a replayed record against the re-executed run state;
+// any mismatch means the journal and the current run are not the same
+// simulation.
+func (jr *runJournal) verify(rec journal.Record, vt, cost float64, digest string) {
+	if rec.VTime != vt || rec.CostUSD != cost {
+		jr.drift("record %d (%s %s/%s) was written at t=%v cost=%v but replay reached it at t=%v cost=%v",
+			rec.Seq, rec.Kind, rec.Stage, rec.Unit, rec.VTime, rec.CostUSD, vt, cost)
+	}
+	if digest != "" && rec.Digest != digest {
+		jr.drift("record %d (%s %s/%s) artifact digest %s does not match replayed %s",
+			rec.Seq, rec.Kind, rec.Stage, rec.Unit, rec.Digest, digest)
+	}
+}
+
+// header checkpoints the run start. On resume it verifies the journal
+// was written by the same configuration and dataset.
+func (jr *runJournal) header(digest string, seed uint64, profile string) {
+	if jr == nil {
+		return
+	}
+	if jr.recording() {
+		if h := jr.pendingHeader; h != nil {
+			if h.Digest != digest || h.Seed != seed {
+				jr.drift("journal belongs to config %s seed %d, resume attempted with config %s seed %d",
+					h.Digest, h.Seed, digest, seed)
+			}
+			jr.pendingHeader = nil
+			jr.consumed()
+		} else if jr.resumed {
+			jr.drift("resume journal has no header record")
+		} else {
+			jr.append(journal.Record{Kind: journal.KindHeader, Seed: seed, Digest: digest, Note: profile})
+		}
+	}
+	jr.maybeCrash(float64(jr.pl.clock.Now()))
+}
+
+func (jr *runJournal) stageStart(name string) {
+	if jr == nil {
+		return
+	}
+	vt, cost := float64(jr.pl.clock.Now()), jr.pl.provider.TotalCost()
+	if jr.recording() {
+		key := journal.KindStageStart + "\x00" + name
+		if rec, ok := jr.pendingStage[key]; ok {
+			jr.verify(rec, vt, cost, "")
+			delete(jr.pendingStage, key)
+			jr.consumed()
+		} else {
+			jr.append(journal.Record{Kind: journal.KindStageStart, Stage: name, VTime: vt, CostUSD: cost})
+		}
+	}
+	jr.maybeCrash(vt)
+}
+
+// stageEnd checkpoints a stage boundary with the digest of the
+// stage's unit artifacts (in completion order).
+func (jr *runJournal) stageEnd(name, note string) {
+	if jr == nil {
+		return
+	}
+	vt, cost := float64(jr.pl.clock.Now()), jr.pl.provider.TotalCost()
+	var combined string
+	if ds := jr.stageDigests[name]; len(ds) > 0 {
+		var b []byte
+		for _, d := range ds {
+			b = append(b, d...)
+			b = append(b, '\n')
+		}
+		combined = journal.Digest(b)
+	}
+	if jr.recording() {
+		key := journal.KindStageEnd + "\x00" + name
+		if rec, ok := jr.pendingStage[key]; ok {
+			jr.verify(rec, vt, cost, combined)
+			delete(jr.pendingStage, key)
+			jr.consumed()
+		} else {
+			jr.append(journal.Record{Kind: journal.KindStageEnd, Stage: name, VTime: vt, CostUSD: cost,
+				Digest: combined, Note: note})
+		}
+	}
+	jr.maybeCrash(vt)
+}
+
+// complete records the run's final outcome. It runs in Run's deferred
+// epilogue, so invariant violations are returned rather than panicked.
+func (jr *runJournal) complete(now vclock.Time, cost float64, runErr error) error {
+	if !jr.recording() {
+		return nil
+	}
+	note := "ok"
+	if runErr != nil {
+		note = runErr.Error()
+	}
+	vt := float64(now)
+	if rec := jr.pendingComplete; rec != nil {
+		jr.pendingComplete = nil
+		if rec.VTime != vt || rec.CostUSD != cost || rec.Note != note {
+			return fmt.Errorf("core: journal: complete record diverged (journal t=%v cost=%v %q, replay t=%v cost=%v %q)",
+				rec.VTime, rec.CostUSD, rec.Note, vt, cost, note)
+		}
+		jr.consumed()
+	} else {
+		jr.append(journal.Record{Kind: journal.KindComplete, VTime: vt, CostUSD: cost, Note: note})
+	}
+	if jr.pendingCount > 0 {
+		return fmt.Errorf("core: journal: %d prefix records were never replayed (journal does not match this run)", jr.pendingCount)
+	}
+	return nil
+}
+
+// unit registers a unit's payload codec and wraps its work function:
+// when the journal holds the unit's completion record, the recorded
+// outputs are replayed instead of executing the work. The wrapper may
+// be invoked once per attempt (retries re-enter it); the record is
+// only consumed at the Done checkpoint in unitDone.
+func (jr *runJournal) unit(stage, name string, work pilot.WorkFunc, c unitCodec) pilot.WorkFunc {
+	if jr == nil {
+		return work
+	}
+	key := unitKey(stage, name)
+	jr.codecs[key] = c
+	return func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
+		if recs := jr.pendingUnits[key]; len(recs) > 0 {
+			rec := recs[0]
+			res, err := c.replay(rec, env)
+			if err != nil {
+				return res, fmt.Errorf("core: journal replay of %s/%s: %w", stage, name, err)
+			}
+			res.Duration = vclock.Duration(rec.DurationSeconds)
+			res.PeakMemoryGB = rec.PeakMemoryGB
+			return res, nil
+		}
+		jr.stats.UnitsExecuted++
+		return work(env)
+	}
+}
+
+// onUnitDone returns the UnitManager callback that checkpoints unit
+// completions for one stage (nil when not journaling).
+func (jr *runJournal) onUnitDone(stage string) func(u *pilot.Unit, at vclock.Time) {
+	if jr == nil {
+		return nil
+	}
+	return func(u *pilot.Unit, at vclock.Time) { jr.unitDone(stage, u, at) }
+}
+
+func (jr *runJournal) unitDone(stage string, u *pilot.Unit, at vclock.Time) {
+	vt, cost := float64(at), jr.pl.provider.TotalCost()
+	key := unitKey(stage, u.Desc.Name)
+	if jr.recording() {
+		if recs := jr.pendingUnits[key]; len(recs) > 0 {
+			rec := recs[0]
+			jr.pendingUnits[key] = recs[1:]
+			jr.verify(rec, vt, cost, "")
+			jr.stageDigests[stage] = append(jr.stageDigests[stage], rec.Digest)
+			jr.stats.UnitsReplayed++
+			jr.consumed()
+		} else {
+			c, ok := jr.codecs[key]
+			if !ok {
+				jr.drift("unit %s/%s completed without a registered codec", stage, u.Desc.Name)
+			}
+			payload, err := c.encode(u.Result)
+			if err != nil {
+				jr.drift("encoding %s/%s outputs: %v", stage, u.Desc.Name, err)
+			}
+			digest := journal.Digest(payload)
+			jr.stageDigests[stage] = append(jr.stageDigests[stage], digest)
+			jr.append(journal.Record{
+				Kind: journal.KindUnit, Stage: stage, Unit: u.Desc.Name,
+				VTime: vt, CostUSD: cost,
+				DurationSeconds: float64(u.Result.Duration),
+				PeakMemoryGB:    u.Result.PeakMemoryGB,
+				Digest:          digest, Payload: payload,
+			})
+		}
+	}
+	jr.maybeCrash(vt)
+}
+
+// Resume continues an interrupted run from its write-ahead journal.
+// cfg and ds must be identical to the original run's (verified via
+// the header's config digest); the journal file is continued in
+// place, so after a successful resume it holds the same record
+// sequence an uninterrupted run would have written. The returned
+// report, metrics and Chrome trace are byte-identical to that run's,
+// except for the snapshot's Resumed marker.
+func Resume(ds *simdata.Dataset, cfg Config, path string) (*Report, error) {
+	rep, _, err := ResumePipeline(ds, cfg, path)
+	return rep, err
+}
+
+// ResumePipeline is Resume exposing the pipeline for trace/metric
+// inspection.
+func ResumePipeline(ds *simdata.Dataset, cfg Config, path string) (*Report, *Pipeline, error) {
+	lg, w, err := journal.Continue(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Resume = lg
+	cfg.Journal = w
+	pl := New(cfg)
+	rep, err := pl.Run(ds)
+	if cerr := w.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return rep, pl, err
+}
+
+// JournalStats reports the pipeline's journal activity (zero value
+// when the run was not journaled).
+func (pl *Pipeline) JournalStats() JournalStats {
+	if pl.jr == nil {
+		return JournalStats{}
+	}
+	s := pl.jr.stats
+	s.Resumed = pl.jr.resumed
+	return s
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	_ "rnascale/internal/assembler/all"
+	"rnascale/internal/faults"
+	"rnascale/internal/journal"
+	"rnascale/internal/obs"
+	"rnascale/internal/simdata"
+	"rnascale/internal/sweep"
+)
+
+// runArtifacts are the byte-comparable outputs of one run: everything
+// the resume contract promises is identical between an interrupted-
+// and-resumed run and its uninterrupted twin.
+type runArtifacts struct {
+	trace    string
+	metrics  string
+	snapshot string
+	summary  string
+	timeline string
+}
+
+// journalRun executes one journaled pipeline run with a fresh
+// observability stack and returns the report, pipeline and error.
+func journalRun(t *testing.T, ds *simdata.Dataset, cfg Config, path string) (*Report, *Pipeline, error) {
+	t.Helper()
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatalf("create journal: %v", err)
+	}
+	cfg.Obs = obs.New()
+	cfg.Journal = w
+	pl := New(cfg)
+	rep, rerr := pl.Run(ds)
+	if cerr := w.Close(); cerr != nil && rerr == nil {
+		rerr = cerr
+	}
+	return rep, pl, rerr
+}
+
+// capture folds a finished run into its comparable artifact bytes.
+func capture(t *testing.T, rep *Report, pl *Pipeline) runArtifacts {
+	t.Helper()
+	var a runArtifacts
+	var buf bytes.Buffer
+	if err := pl.Obs().Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	a.trace = buf.String()
+	buf.Reset()
+	if err := pl.Obs().Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	a.metrics = buf.String()
+	buf.Reset()
+	if rep.Snapshot == nil {
+		t.Fatal("report has no snapshot")
+	}
+	if err := rep.Snapshot.WriteJSON(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	a.snapshot = buf.String()
+	a.summary = rep.Summary()
+	a.timeline = rep.Timeline(72)
+	return a
+}
+
+// journalBody returns a journal file's record lines after the header.
+// The header is excluded because its config digest covers the fault
+// plan string, which legitimately differs between a run armed with a
+// drivercrash rule and its crash-free twin.
+func journalBody(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	lines := strings.SplitN(string(b), "\n", 2)
+	if len(lines) != 2 {
+		t.Fatalf("journal %s has no records after the header", path)
+	}
+	return lines[1]
+}
+
+// TestKillAndResumeByteIdentical is the acceptance scenario: run once
+// cleanly under a journal, then kill the driver at three injected
+// virtual-time points (mid-PA, mid-PB, mid-PC), resume each from its
+// surviving journal, and require the resumed run's report, metrics,
+// Chrome trace, summary and timeline to be byte-identical to the
+// uninterrupted twin's — with zero journaled units re-executed.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	ds, err := simdata.GenerateCached(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	base := chaosConfig()
+
+	clean, plClean, err := journalRun(t, ds, base, filepath.Join(dir, "clean.journal"))
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	want := capture(t, clean, plClean)
+	if clean.Snapshot.Resumed {
+		t.Fatal("uninterrupted run marked resumed")
+	}
+	if clean.Journal == nil || clean.Journal.Resumed || clean.Journal.RecordsReplayed != 0 {
+		t.Fatalf("uninterrupted run journal stats: %+v", clean.Journal)
+	}
+	totalRecords := clean.Journal.RecordsAppended
+	totalUnits := clean.Journal.UnitsExecuted
+	wantBody := journalBody(t, filepath.Join(dir, "clean.journal"))
+
+	// Pick one kill point inside each stage off the clean span tree.
+	var kills []struct {
+		stage string
+		at    float64
+	}
+	for _, stage := range []string{"PA", "PB", "PC"} {
+		sp := plClean.Obs().Tracer.Find(obs.KindStage, stage)
+		if sp == nil {
+			t.Fatalf("no %s stage span in clean run", stage)
+		}
+		kills = append(kills, struct {
+			stage string
+			at    float64
+		}{stage, float64(sp.Start.Add(sp.Duration() / 2))})
+	}
+
+	for _, kill := range kills {
+		kill := kill
+		t.Run("kill-"+kill.stage, func(t *testing.T) {
+			path := filepath.Join(dir, "kill-"+kill.stage+".journal")
+			cfg := base
+			plan, err := faults.ParseSpec(fmt.Sprintf("drivercrash:at=%g", kill.at))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.FaultPlan = plan
+			cfg.FaultSeed = 7
+
+			_, _, err = journalRun(t, ds, cfg, path)
+			var dce *DriverCrashError
+			if !errors.As(err, &dce) {
+				t.Fatalf("run with drivercrash at t=%g returned %v, want DriverCrashError", kill.at, err)
+			}
+			if float64(dce.At) != kill.at {
+				t.Fatalf("crash fired at t=%v, armed for t=%g", dce.At, kill.at)
+			}
+
+			lg, err := journal.Open(path)
+			if err != nil {
+				t.Fatalf("open crashed journal: %v", err)
+			}
+			if lg.Complete() {
+				t.Fatal("crashed journal claims completion")
+			}
+			survived := len(lg.Records)
+			survivedUnits := lg.Units()
+			if survived == 0 || survived >= totalRecords {
+				t.Fatalf("crashed journal holds %d records, clean run wrote %d", survived, totalRecords)
+			}
+
+			cfg.Obs = obs.New()
+			rep, pl, err := ResumePipeline(ds, cfg, path)
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+
+			// Zero re-execution: every journaled unit was replayed, only
+			// the remainder ran for real, and the journal-records counter
+			// (replayed + appended) matches the uninterrupted twin.
+			st := rep.Journal
+			if st == nil || !st.Resumed {
+				t.Fatalf("resumed run journal stats: %+v", st)
+			}
+			if st.UnitsReplayed != survivedUnits {
+				t.Errorf("replayed %d units, journal held %d", st.UnitsReplayed, survivedUnits)
+			}
+			if st.UnitsExecuted != totalUnits-survivedUnits {
+				t.Errorf("re-executed %d units, want %d", st.UnitsExecuted, totalUnits-survivedUnits)
+			}
+			if st.RecordsReplayed != survived {
+				t.Errorf("replayed %d records, journal held %d", st.RecordsReplayed, survived)
+			}
+			if st.RecordsReplayed+st.RecordsAppended != totalRecords {
+				t.Errorf("replayed %d + appended %d records, clean run wrote %d",
+					st.RecordsReplayed, st.RecordsAppended, totalRecords)
+			}
+
+			got := capture(t, rep, pl)
+			if got.trace != want.trace {
+				t.Errorf("Chrome trace differs from uninterrupted run (%d vs %d bytes)", len(got.trace), len(want.trace))
+			}
+			if got.metrics != want.metrics {
+				t.Errorf("metrics differ from uninterrupted run:\n--- resumed\n%s\n--- clean\n%s", got.metrics, want.metrics)
+			}
+			if got.summary != want.summary {
+				t.Errorf("summary differs from uninterrupted run")
+			}
+			if got.timeline != want.timeline {
+				t.Errorf("timeline differs from uninterrupted run")
+			}
+
+			// The snapshot's Resumed marker is the one sanctioned delta;
+			// with it cleared the snapshots must match byte-for-byte.
+			if !rep.Snapshot.Resumed {
+				t.Error("resumed run's snapshot lacks the resumed marker")
+			}
+			rep.Snapshot.Resumed = false
+			var buf bytes.Buffer
+			if err := rep.Snapshot.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.String() != want.snapshot {
+				t.Errorf("snapshot differs from uninterrupted run beyond the resumed marker:\n--- resumed\n%s\n--- clean\n%s",
+					buf.String(), want.snapshot)
+			}
+
+			// The continued journal ends up holding the same record
+			// sequence the uninterrupted run wrote (header aside — its
+			// digest covers the drivercrash rule).
+			if body := journalBody(t, path); body != wantBody {
+				t.Errorf("final journal body differs from uninterrupted run's")
+			}
+			final, err := journal.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !final.Complete() {
+				t.Error("resumed journal lacks the complete record")
+			}
+		})
+	}
+}
+
+// TestResumeOfCompleteJournal replays a finished journal end to end:
+// nothing re-executes, nothing is appended, and the artifacts still
+// match the original run.
+func TestResumeOfCompleteJournal(t *testing.T) {
+	ds, err := simdata.GenerateCached(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.journal")
+	cfg := chaosConfig()
+	clean, plClean, err := journalRun(t, ds, cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := capture(t, clean, plClean)
+
+	cfg.Obs = obs.New()
+	rep, pl, err := ResumePipeline(ds, cfg, path)
+	if err != nil {
+		t.Fatalf("resume of complete journal: %v", err)
+	}
+	st := rep.Journal
+	if st == nil || st.UnitsExecuted != 0 || st.RecordsAppended != 0 {
+		t.Fatalf("full replay ran real work: %+v", st)
+	}
+	if st.RecordsReplayed != clean.Journal.RecordsAppended {
+		t.Fatalf("replayed %d records, original wrote %d", st.RecordsReplayed, clean.Journal.RecordsAppended)
+	}
+	got := capture(t, rep, pl)
+	if got.trace != want.trace || got.summary != want.summary {
+		t.Error("full replay diverged from original run")
+	}
+}
+
+// TestResumeRejectsConfigDrift pins the fail-fast on resuming under a
+// different configuration than the one that wrote the journal.
+func TestResumeRejectsConfigDrift(t *testing.T) {
+	ds, err := simdata.GenerateCached(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.journal")
+	cfg := chaosConfig()
+	if _, _, err := journalRun(t, ds, cfg, path); err != nil {
+		t.Fatal(err)
+	}
+
+	drifted := cfg
+	drifted.Assemblers = []string{"velvet"}
+	drifted.Obs = obs.New()
+	_, _, err = ResumePipeline(ds, drifted, path)
+	if err == nil || !strings.Contains(err.Error(), "journal belongs to config") {
+		t.Fatalf("resume under drifted config returned %v, want config-digest mismatch", err)
+	}
+}
+
+// TestDriverCrashWithoutJournal: the fault class works standalone —
+// the run dies with a DriverCrashError even when nothing is journaled
+// (there is just nothing to resume from).
+func TestDriverCrashWithoutJournal(t *testing.T) {
+	ds, err := simdata.GenerateCached(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig()
+	plan, err := faults.ParseSpec("drivercrash:at=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FaultPlan = plan
+	pl := New(cfg)
+	_, err = pl.Run(ds)
+	var dce *DriverCrashError
+	if !errors.As(err, &dce) {
+		t.Fatalf("got %v, want DriverCrashError", err)
+	}
+}
+
+// TestChaosDriverCrashResumeSoak races driver loss against worker
+// faults across seeds: each cell runs under unit flakes, is killed at
+// a seed-dependent virtual time, resumed, and must converge on the
+// same bytes as its crash-free twin.
+func TestChaosDriverCrashResumeSoak(t *testing.T) {
+	ds, err := simdata.GenerateCached(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	dir := t.TempDir()
+	const workerFaults = "unitflake:p=0.6,n=2"
+	type cell struct {
+		wantTrace, gotTrace string
+		crashed             bool
+		stats               JournalStats
+	}
+	results, mapErr := sweep.Map(seeds, func(i int) (cell, error) {
+		seed := uint64(i + 1)
+		var c cell
+
+		twin := chaosConfig()
+		plan, err := faults.ParseSpec(workerFaults)
+		if err != nil {
+			return c, err
+		}
+		twin.FaultPlan = plan
+		twin.FaultSeed = seed
+		twinPath := filepath.Join(dir, fmt.Sprintf("twin-%d.journal", i))
+		_, plTwin, err := journalRun(t, ds, twin, twinPath)
+		if err != nil {
+			return c, fmt.Errorf("seed %d twin: %w", seed, err)
+		}
+		var buf bytes.Buffer
+		if err := plTwin.Obs().Tracer.WriteChromeTrace(&buf); err != nil {
+			return c, err
+		}
+		c.wantTrace = buf.String()
+
+		// Kill somewhere in the run; a seed-scaled time keeps the kill
+		// point roaming across stages without consulting a real clock.
+		crashAt := 400 * float64(i+1)
+		cfg := twin
+		plan, err = faults.ParseSpec(fmt.Sprintf("%s;drivercrash:at=%g", workerFaults, crashAt))
+		if err != nil {
+			return c, err
+		}
+		cfg.FaultPlan = plan
+		path := filepath.Join(dir, fmt.Sprintf("crash-%d.journal", i))
+		rep, pl, err := journalRun(t, ds, cfg, path)
+		var dce *DriverCrashError
+		switch {
+		case errors.As(err, &dce):
+			c.crashed = true
+			cfg.Obs = obs.New()
+			rep, pl, err = ResumePipeline(ds, cfg, path)
+			if err != nil {
+				return c, fmt.Errorf("seed %d resume: %w", seed, err)
+			}
+		case err != nil:
+			return c, fmt.Errorf("seed %d crash run: %w", seed, err)
+		}
+		c.stats = *rep.Journal
+		buf.Reset()
+		if err := pl.Obs().Tracer.WriteChromeTrace(&buf); err != nil {
+			return c, err
+		}
+		c.gotTrace = buf.String()
+		return c, nil
+	}, sweep.Options{Workers: runtime.GOMAXPROCS(0)})
+	if mapErr != nil {
+		t.Fatal(mapErr)
+	}
+	var crashed int
+	for i, c := range results {
+		if c.gotTrace != c.wantTrace {
+			t.Errorf("seed %d: resumed trace differs from crash-free twin", i+1)
+		}
+		if c.crashed {
+			crashed++
+			if !c.stats.Resumed || c.stats.RecordsReplayed == 0 {
+				t.Errorf("seed %d: resume replayed nothing: %+v", i+1, c.stats)
+			}
+		}
+	}
+	if crashed == 0 {
+		t.Error("no cell actually exercised a driver crash")
+	}
+	t.Logf("%d/%d cells crashed and resumed", crashed, len(results))
+}

@@ -29,14 +29,17 @@ type stageScope struct {
 	span       *obs.Span
 	costBefore float64
 	done       bool
+	note       string
 }
 
 // beginStage opens a stage span at the current virtual time and
-// points newly registered pilots at it.
+// points newly registered pilots at it. The stage boundary is also a
+// journal checkpoint.
 func (pl *Pipeline) beginStage(name string) *stageScope {
 	sc := &stageScope{pl: pl, costBefore: pl.provider.TotalCost()}
 	sc.span = pl.o.Tracer.StartSpan(pl.runSpan, obs.KindStage, name, pl.clock.Now())
 	pl.bridge.SetParent(sc.span)
+	pl.jr.stageStart(name)
 	return sc
 }
 
@@ -44,8 +47,8 @@ func (pl *Pipeline) beginStage(name string) *stageScope {
 func (sc *stageScope) attr(key, value string) { sc.span.SetAttr(key, value) }
 
 // end closes the stage at the current virtual time, attributing the
-// bill growth since beginStage to it. Idempotent, so failure paths
-// can end defensively.
+// bill growth since beginStage to it, and checkpoints the boundary in
+// the run journal. Idempotent, so failure paths can end defensively.
 func (sc *stageScope) end() {
 	if sc.done {
 		return
@@ -53,11 +56,13 @@ func (sc *stageScope) end() {
 	sc.done = true
 	sc.span.SetAttr(obs.AttrCostUSD, fmt.Sprintf("%.4f", sc.pl.provider.TotalCost()-sc.costBefore))
 	sc.span.End(sc.pl.clock.Now())
+	sc.pl.jr.stageEnd(sc.span.Name, sc.note)
 }
 
 // fail marks and closes the stage after a stage-level failure.
 func (sc *stageScope) fail(err error) {
 	sc.span.SetAttr("error", err.Error())
+	sc.note = err.Error()
 	sc.end()
 }
 
@@ -79,6 +84,14 @@ func (pl *Pipeline) finishObs(rep *Report) {
 	m.Gauge(MetricRunInstanceHours, "Total billed instance-hours for the run.", nil).Set(pl.provider.TotalInstanceHours())
 	rep.Recovery = pl.recoveryReport()
 	snap := obs.Snapshot(pl.o.Tracer, m)
+	if pl.jr.recording() {
+		// The snapshot's Resumed marker is the one sanctioned delta
+		// between a resumed run and its uninterrupted twin; the trace,
+		// metrics and stage rows stay byte-identical.
+		snap.Resumed = pl.jr.isResumed()
+		st := pl.JournalStats()
+		rep.Journal = &st
+	}
 	rep.Snapshot = &snap
 }
 

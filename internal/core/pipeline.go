@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -11,6 +12,7 @@ import (
 	"rnascale/internal/detonate"
 	"rnascale/internal/diffexpr"
 	"rnascale/internal/faults"
+	"rnascale/internal/journal"
 	"rnascale/internal/merge"
 	"rnascale/internal/obs"
 	"rnascale/internal/pilot"
@@ -35,6 +37,11 @@ type Pipeline struct {
 	o       *obs.Obs
 	bridge  *pilot.SpanBridge
 	runSpan *obs.Span
+
+	// jr drives the write-ahead run journal and the drivercrash fault
+	// checkpoints; nil when the run is neither journaled nor resumed
+	// and no drivercrash rule is armed.
+	jr *runJournal
 }
 
 // New builds a pipeline with a fresh simulated cloud.
@@ -49,8 +56,9 @@ func New(cfg Config) *Pipeline {
 	if o == nil {
 		o = obs.New()
 	}
+	var inj *faults.Injector
 	if cfg.FaultPlan != nil {
-		inj := faults.NewInjector(cfg.FaultPlan, cfg.FaultSeed, clock)
+		inj = faults.NewInjector(cfg.FaultPlan, cfg.FaultSeed, clock)
 		inj.SetMetrics(o.Metrics)
 		copts.Faults = inj
 	}
@@ -59,7 +67,7 @@ func New(cfg Config) *Pipeline {
 	store := pilot.NewStateStore()
 	pm := pilot.NewManager(provider, store, cluster.DefaultOptions())
 	pm.SetObs(o)
-	return &Pipeline{
+	pl := &Pipeline{
 		cfg:      cfg,
 		clock:    clock,
 		provider: provider,
@@ -67,6 +75,10 @@ func New(cfg Config) *Pipeline {
 		o:        o,
 		bridge:   pilot.NewSpanBridge(store, o),
 	}
+	if cfg.Journal != nil || cfg.Resume != nil || len(inj.DriverCrashTimes()) > 0 {
+		pl.jr = newRunJournal(pl, cfg, inj)
+	}
+	return pl
 }
 
 // Provider exposes the simulated cloud (for inspection in tests and
@@ -86,10 +98,32 @@ func Run(ds *simdata.Dataset, cfg Config) (*Report, error) {
 }
 
 // Run executes the pipeline.
-func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
+func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
+	// The journal epilogue: an injected drivercrash unwinds out of an
+	// arbitrary checkpoint and surfaces as DriverCrashError WITHOUT
+	// teardown or a final journal record (the driver is gone — VMs
+	// stay up, the journal prefix stays on disk). Every other exit
+	// writes the journal's complete record.
+	defer func() {
+		if r := recover(); r != nil {
+			switch v := r.(type) {
+			case driverCrashPanic:
+				err = &DriverCrashError{At: v.at}
+			case journalDriftPanic:
+				err = fmt.Errorf("core: journal: %s", v.msg)
+			default:
+				panic(r)
+			}
+			return
+		}
+		if cerr := pl.jr.complete(pl.clock.Now(), pl.provider.TotalCost(), err); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
 	cfg := pl.cfg
 	fs := ds.Profile.FullScale
-	rep := &Report{Config: cfg, PerAssembler: map[string][]seq.FastaRecord{}}
+	rep = &Report{Config: cfg, PerAssembler: map[string][]seq.FastaRecord{}}
 	for _, name := range cfg.Assemblers {
 		if _, err := assembler.Get(name); err != nil {
 			return rep, err
@@ -101,6 +135,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 	pl.runSpan.SetAttr("pattern", cfg.Pattern.String())
 	pl.runSpan.SetAttr("assemblers", strings.Join(cfg.Assemblers, ","))
 	pl.runSpan.SetAttr("profile", ds.Profile.Name)
+	pl.jr.header(configDigest(cfg, ds), cfg.FaultSeed, ds.Profile.Name)
 
 	// --- Stage 0: upload the raw data from the local server ---
 	t0 := pl.clock.Now()
@@ -162,6 +197,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 
 	paUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
 	paUM.SetObs(pl.o)
+	paUM.SetOnUnitDone(pl.jr.onUnitDone("PA"))
 	if err := paUM.AddPilots(pa); err != nil {
 		return rep, err
 	}
@@ -174,13 +210,31 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 			Slots: min(pa.Cluster.InstanceType().Cores, 8),
 			Rule:  sge.SingleNode,
 			Retry: cfg.Retry.PA,
-			Work: func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
-				shardClean[s], shardStats[s] = preprocess.Run(shardReads[s], cfg.Preprocess)
-				return pilot.WorkResult{
-					Duration:     preModel.Duration(fsShard, env.Slots),
-					PeakMemoryGB: preModel.MemoryGB(fsShard),
-				}, nil
-			},
+			Work: pl.jr.unit("PA", fmt.Sprintf("preprocess-%d", s),
+				func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
+					shardClean[s], shardStats[s] = preprocess.Run(shardReads[s], cfg.Preprocess)
+					return pilot.WorkResult{
+						Duration:     preModel.Duration(fsShard, env.Slots),
+						PeakMemoryGB: preModel.MemoryGB(fsShard),
+					}, nil
+				},
+				unitCodec{
+					encode: func(pilot.WorkResult) (json.RawMessage, error) {
+						return json.Marshal(paPayload{
+							Shard: s, Reads: shardClean[s].Reads,
+							Paired: shardClean[s].Paired, Stats: shardStats[s],
+						})
+					},
+					replay: func(rec journal.Record, _ *pilot.ExecEnv) (pilot.WorkResult, error) {
+						var p paPayload
+						if err := json.Unmarshal(rec.Payload, &p); err != nil {
+							return pilot.WorkResult{}, err
+						}
+						shardClean[s] = seq.ReadSet{Reads: p.Reads, Paired: p.Paired}
+						shardStats[s] = p.Stats
+						return pilot.WorkResult{}, nil
+					},
+				}),
 		})
 	}
 	paUnits, err := paUM.Submit(paDescs)
@@ -268,6 +322,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 	pbStart := pl.clock.Now()
 	pbUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
 	pbUM.SetObs(pl.o)
+	pbUM.SetOnUnitDone(pl.jr.onUnitDone("PB"))
 	if err := pbUM.AddPilots(pb); err != nil {
 		return rep, err
 	}
@@ -295,53 +350,101 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 		for _, k := range kmers {
 			k := k
 			jobNodes := jobNodes
+			work := func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
+				extra := vclock.Duration(0)
+				jobReads := cleaned.Reads
+				if name == "contrail" {
+					// Contrail cannot handle N bases (the paper
+					// pre-processes P. Crispa for exactly this
+					// reason): feed it the N-free subset, via the
+					// SFA conversion the paper charges 1 min for.
+					jobReads = dropNReads(jobReads)
+					var buf bytes.Buffer
+					if err := seq.WriteSFA(&buf, jobReads); err != nil {
+						return pilot.WorkResult{}, err
+					}
+					if err := env.Store.Put(fmt.Sprintf("data/clean.k%d.sfa", k), buf.Bytes()); err != nil {
+						return pilot.WorkResult{}, err
+					}
+					extra = 60 * vclock.Second
+				}
+				res, err := a.Assemble(assembler.Request{
+					Reads:        jobReads,
+					Params:       assembler.Params{K: k, MinCoverage: cfg.MinCoverage},
+					Nodes:        jobNodes,
+					CoresPerNode: cores,
+					FullScale:    asmFS,
+				})
+				if err != nil {
+					return pilot.WorkResult{}, err
+				}
+				outputs[asmKey{name, k}] = res.Contigs
+				var buf bytes.Buffer
+				if err := seq.WriteFasta(&buf, res.Contigs, 80); err != nil {
+					return pilot.WorkResult{}, err
+				}
+				if err := env.Store.Put(fmt.Sprintf("asm/%s/k%d.contigs.fa", name, k), buf.Bytes()); err != nil {
+					return pilot.WorkResult{}, err
+				}
+				return pilot.WorkResult{
+					Duration:     res.TTC + extra,
+					PeakMemoryGB: res.PeakMemoryGBPerNode,
+					Output:       asmOutput{name: name, k: k, res: res},
+				}, nil
+			}
+			codec := unitCodec{
+				encode: func(res pilot.WorkResult) (json.RawMessage, error) {
+					out := res.Output.(asmOutput)
+					return json.Marshal(pbPayload{
+						Assembler: out.name, K: out.k, Contigs: out.res.Contigs,
+						TTCSeconds:          float64(out.res.TTC),
+						PeakMemoryGBPerNode: out.res.PeakMemoryGBPerNode,
+						Messages:            out.res.Messages,
+						BytesSent:           out.res.BytesSent,
+						N50:                 out.res.N50,
+					})
+				},
+				replay: func(rec journal.Record, env *pilot.ExecEnv) (pilot.WorkResult, error) {
+					var p pbPayload
+					if err := json.Unmarshal(rec.Payload, &p); err != nil {
+						return pilot.WorkResult{}, err
+					}
+					if p.Assembler == "contrail" {
+						// Re-derive the SFA conversion the original unit
+						// staged, so the shared store's contents match.
+						var buf bytes.Buffer
+						if err := seq.WriteSFA(&buf, dropNReads(cleaned.Reads)); err != nil {
+							return pilot.WorkResult{}, err
+						}
+						if err := env.Store.Put(fmt.Sprintf("data/clean.k%d.sfa", p.K), buf.Bytes()); err != nil {
+							return pilot.WorkResult{}, err
+						}
+					}
+					outputs[asmKey{p.Assembler, p.K}] = p.Contigs
+					var buf bytes.Buffer
+					if err := seq.WriteFasta(&buf, p.Contigs, 80); err != nil {
+						return pilot.WorkResult{}, err
+					}
+					if err := env.Store.Put(fmt.Sprintf("asm/%s/k%d.contigs.fa", p.Assembler, p.K), buf.Bytes()); err != nil {
+						return pilot.WorkResult{}, err
+					}
+					res := assembler.Result{
+						Contigs:             p.Contigs,
+						TTC:                 vclock.Duration(p.TTCSeconds),
+						PeakMemoryGBPerNode: p.PeakMemoryGBPerNode,
+						Messages:            p.Messages,
+						BytesSent:           p.BytesSent,
+						N50:                 p.N50,
+					}
+					return pilot.WorkResult{Output: asmOutput{name: p.Assembler, k: p.K, res: res}}, nil
+				},
+			}
 			descs = append(descs, pilot.UnitDescription{
 				Name:  fmt.Sprintf("%s-k%d", name, k),
 				Slots: jobNodes * cores,
 				Rule:  rule,
 				Retry: cfg.Retry.PB,
-				Work: func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
-					extra := vclock.Duration(0)
-					jobReads := cleaned.Reads
-					if name == "contrail" {
-						// Contrail cannot handle N bases (the paper
-						// pre-processes P. Crispa for exactly this
-						// reason): feed it the N-free subset, via the
-						// SFA conversion the paper charges 1 min for.
-						jobReads = dropNReads(jobReads)
-						var buf bytes.Buffer
-						if err := seq.WriteSFA(&buf, jobReads); err != nil {
-							return pilot.WorkResult{}, err
-						}
-						if err := env.Store.Put(fmt.Sprintf("data/clean.k%d.sfa", k), buf.Bytes()); err != nil {
-							return pilot.WorkResult{}, err
-						}
-						extra = 60 * vclock.Second
-					}
-					res, err := a.Assemble(assembler.Request{
-						Reads:        jobReads,
-						Params:       assembler.Params{K: k, MinCoverage: cfg.MinCoverage},
-						Nodes:        jobNodes,
-						CoresPerNode: cores,
-						FullScale:    asmFS,
-					})
-					if err != nil {
-						return pilot.WorkResult{}, err
-					}
-					outputs[asmKey{name, k}] = res.Contigs
-					var buf bytes.Buffer
-					if err := seq.WriteFasta(&buf, res.Contigs, 80); err != nil {
-						return pilot.WorkResult{}, err
-					}
-					if err := env.Store.Put(fmt.Sprintf("asm/%s/k%d.contigs.fa", name, k), buf.Bytes()); err != nil {
-						return pilot.WorkResult{}, err
-					}
-					return pilot.WorkResult{
-						Duration:     res.TTC + extra,
-						PeakMemoryGB: res.PeakMemoryGBPerNode,
-						Output:       asmOutput{name: name, k: k, res: res},
-					}, nil
-				},
+				Work:  pl.jr.unit("PB", fmt.Sprintf("%s-k%d", name, k), work, codec),
 			})
 		}
 	}
@@ -412,90 +515,124 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (*Report, error) {
 	pcStart := pl.clock.Now()
 	pcUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
 	pcUM.SetObs(pl.o)
+	pcUM.SetOnUnitDone(pl.jr.onUnitDone("PC"))
 	if err := pcUM.AddPilots(pc); err != nil {
 		return rep, err
+	}
+	pcWork := func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
+		// Merge each assembler's multi-k sets, then the MAMP union
+		// (optionally with cross-assembler consensus validation).
+		var all [][]seq.FastaRecord
+		for _, name := range cfg.Assemblers {
+			var sets [][]seq.FastaRecord
+			for _, k := range kmers {
+				sets = append(sets, outputs[asmKey{name, k}])
+			}
+			perTool, _ := merge.Merge(sets, merge.DefaultOptions())
+			rep.PerAssembler[name] = perTool
+			all = append(all, perTool)
+		}
+		var final []seq.FastaRecord
+		if cfg.ConsensusMerge && len(all) >= 2 {
+			f, cs, err := merge.ConsensusMerge(all, merge.DefaultConsensusOptions())
+			if err != nil {
+				return pilot.WorkResult{}, err
+			}
+			final = f
+			rep.MergeStats = cs.Stats
+		} else {
+			f, mstats := merge.Merge(all, merge.DefaultOptions())
+			final = f
+			rep.MergeStats = mstats
+		}
+		rep.Transcripts = final
+		var buf bytes.Buffer
+		if err := seq.WriteFasta(&buf, final, 80); err != nil {
+			return pilot.WorkResult{}, err
+		}
+		if err := env.Store.Put("post/transcripts.fa", buf.Bytes()); err != nil {
+			return pilot.WorkResult{}, err
+		}
+		q, err := quant.Quantify(final, cleaned.Reads, quant.DefaultOptions())
+		if err != nil {
+			return pilot.WorkResult{}, err
+		}
+		rep.Quant = q
+		dur := postModel.Duration(fs, env.Slots)
+		if cfg.ConditionB != nil {
+			// Optional differential-expression step: clean and
+			// quantify the second condition, then test — charged as
+			// a second quantification pass.
+			cleanB, _ := preprocess.Run(*cfg.ConditionB, cfg.Preprocess)
+			qb, err := quant.Quantify(final, cleanB.Reads, quant.DefaultOptions())
+			if err != nil {
+				return pilot.WorkResult{}, err
+			}
+			rep.QuantB = qb
+			ids := make([]string, len(final))
+			ca := make([]int64, len(final))
+			cb := make([]int64, len(final))
+			idx := map[string]int{}
+			for i, tx := range final {
+				ids[i] = tx.ID
+				idx[tx.ID] = i
+			}
+			for _, a := range q.Abundances {
+				ca[idx[a.ID]] = a.Count
+			}
+			for _, a := range qb.Abundances {
+				cb[idx[a.ID]] = a.Count
+			}
+			rows, err := diffexpr.Test(ids, ca, cb, diffexpr.DefaultOptions())
+			if err != nil {
+				return pilot.WorkResult{}, fmt.Errorf("differential expression: %w", err)
+			}
+			rep.DiffExpr = rows
+			dur += postModel.Duration(fs, env.Slots)
+		}
+		return pilot.WorkResult{
+			Duration:     dur,
+			PeakMemoryGB: postModel.MemoryGB(fs),
+		}, nil
+	}
+	pcCodec := unitCodec{
+		encode: func(pilot.WorkResult) (json.RawMessage, error) {
+			return json.Marshal(pcPayload{
+				PerAssembler: rep.PerAssembler,
+				Transcripts:  rep.Transcripts,
+				MergeStats:   rep.MergeStats,
+				Quant:        rep.Quant,
+				QuantB:       rep.QuantB,
+				DiffExpr:     rep.DiffExpr,
+			})
+		},
+		replay: func(rec journal.Record, env *pilot.ExecEnv) (pilot.WorkResult, error) {
+			var p pcPayload
+			if err := json.Unmarshal(rec.Payload, &p); err != nil {
+				return pilot.WorkResult{}, err
+			}
+			rep.PerAssembler = p.PerAssembler
+			rep.Transcripts = p.Transcripts
+			rep.MergeStats = p.MergeStats
+			rep.Quant = p.Quant
+			rep.QuantB = p.QuantB
+			rep.DiffExpr = p.DiffExpr
+			var buf bytes.Buffer
+			if err := seq.WriteFasta(&buf, p.Transcripts, 80); err != nil {
+				return pilot.WorkResult{}, err
+			}
+			if err := env.Store.Put("post/transcripts.fa", buf.Bytes()); err != nil {
+				return pilot.WorkResult{}, err
+			}
+			return pilot.WorkResult{}, nil
+		},
 	}
 	pcUnits, err := pcUM.Submit([]pilot.UnitDescription{{
 		Name:  "postprocess",
 		Slots: min(pc.Cluster.InstanceType().Cores, 8),
 		Rule:  sge.SingleNode,
 		Retry: cfg.Retry.PC,
-		Work: func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
-			// Merge each assembler's multi-k sets, then the MAMP union
-			// (optionally with cross-assembler consensus validation).
-			var all [][]seq.FastaRecord
-			for _, name := range cfg.Assemblers {
-				var sets [][]seq.FastaRecord
-				for _, k := range kmers {
-					sets = append(sets, outputs[asmKey{name, k}])
-				}
-				perTool, _ := merge.Merge(sets, merge.DefaultOptions())
-				rep.PerAssembler[name] = perTool
-				all = append(all, perTool)
-			}
-			var final []seq.FastaRecord
-			if cfg.ConsensusMerge && len(all) >= 2 {
-				f, cs, err := merge.ConsensusMerge(all, merge.DefaultConsensusOptions())
-				if err != nil {
-					return pilot.WorkResult{}, err
-				}
-				final = f
-				rep.MergeStats = cs.Stats
-			} else {
-				f, mstats := merge.Merge(all, merge.DefaultOptions())
-				final = f
-				rep.MergeStats = mstats
-			}
-			rep.Transcripts = final
-			var buf bytes.Buffer
-			if err := seq.WriteFasta(&buf, final, 80); err != nil {
-				return pilot.WorkResult{}, err
-			}
-			if err := env.Store.Put("post/transcripts.fa", buf.Bytes()); err != nil {
-				return pilot.WorkResult{}, err
-			}
-			q, err := quant.Quantify(final, cleaned.Reads, quant.DefaultOptions())
-			if err != nil {
-				return pilot.WorkResult{}, err
-			}
-			rep.Quant = q
-			dur := postModel.Duration(fs, env.Slots)
-			if cfg.ConditionB != nil {
-				// Optional differential-expression step: clean and
-				// quantify the second condition, then test — charged as
-				// a second quantification pass.
-				cleanB, _ := preprocess.Run(*cfg.ConditionB, cfg.Preprocess)
-				qb, err := quant.Quantify(final, cleanB.Reads, quant.DefaultOptions())
-				if err != nil {
-					return pilot.WorkResult{}, err
-				}
-				rep.QuantB = qb
-				ids := make([]string, len(final))
-				ca := make([]int64, len(final))
-				cb := make([]int64, len(final))
-				idx := map[string]int{}
-				for i, tx := range final {
-					ids[i] = tx.ID
-					idx[tx.ID] = i
-				}
-				for _, a := range q.Abundances {
-					ca[idx[a.ID]] = a.Count
-				}
-				for _, a := range qb.Abundances {
-					cb[idx[a.ID]] = a.Count
-				}
-				rows, err := diffexpr.Test(ids, ca, cb, diffexpr.DefaultOptions())
-				if err != nil {
-					return pilot.WorkResult{}, fmt.Errorf("differential expression: %w", err)
-				}
-				rep.DiffExpr = rows
-				dur += postModel.Duration(fs, env.Slots)
-			}
-			return pilot.WorkResult{
-				Duration:     dur,
-				PeakMemoryGB: postModel.MemoryGB(fs),
-			}, nil
-		},
+		Work:  pl.jr.unit("PC", "postprocess", pcWork, pcCodec),
 	}})
 	if err != nil {
 		return rep, err

@@ -36,6 +36,10 @@ const (
 	ClassUnitFlake Class = "unitflake"
 	// ClassSlowXfer degrades ingress transfer rates by a factor.
 	ClassSlowXfer Class = "slowxfer"
+	// ClassDriverCrash kills the driver process itself at a virtual
+	// time: the run aborts at its next journal checkpoint at or after
+	// At, leaving the write-ahead journal prefix behind for resume.
+	ClassDriverCrash Class = "drivercrash"
 )
 
 // DefaultReclaimNotice is the advance warning a reclamation carries
@@ -82,6 +86,8 @@ type Plan struct {
 //	bootfail:n=2               exactly the 2nd RunInstances call fails
 //	unitflake:p=0.3,n=1        first attempt of a unit may flake
 //	slowxfer:x=0.5             ingress at half bandwidth
+//	drivercrash:at=900         kill the driver at the first journal
+//	                           checkpoint at or after t=900s
 //
 // Rules compose: "crash:at=900;unitflake:p=0.2,n=1".
 func ParseSpec(spec string) (*Plan, error) {
@@ -94,7 +100,7 @@ func ParseSpec(spec string) (*Plan, error) {
 		head, params, _ := strings.Cut(part, ":")
 		r := Rule{Class: Class(strings.TrimSpace(head))}
 		switch r.Class {
-		case ClassCrash, ClassReclaim, ClassBootFail, ClassUnitFlake, ClassSlowXfer:
+		case ClassCrash, ClassReclaim, ClassBootFail, ClassUnitFlake, ClassSlowXfer, ClassDriverCrash:
 		default:
 			return nil, fmt.Errorf("faults: unknown fault class %q in %q", head, part)
 		}
@@ -165,6 +171,10 @@ func (r Rule) validate() error {
 	case ClassSlowXfer:
 		if r.Factor <= 0 || r.Factor > 1 {
 			return fmt.Errorf("faults: slowxfer factor %v out of (0,1]", r.Factor)
+		}
+	case ClassDriverCrash:
+		if r.At < 0 {
+			return fmt.Errorf("faults: drivercrash rule needs at=T with T >= 0")
 		}
 	}
 	return nil
@@ -347,6 +357,25 @@ func (in *Injector) UnitAttemptFails(unitID string, attempt int, now vclock.Time
 		}
 	}
 	return false
+}
+
+// DriverCrashTimes returns the virtual times at which drivercrash
+// rules kill the driver, sorted ascending. The pipeline arms these
+// against its journal checkpoints; the decision is fully static, so
+// resumption can disarm the rules the surviving journal already
+// covers.
+func (in *Injector) DriverCrashTimes() []vclock.Time {
+	if in == nil {
+		return nil
+	}
+	var out []vclock.Time
+	for _, r := range in.plan.Rules {
+		if r.Class == ClassDriverCrash {
+			out = append(out, r.At)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }
 
 // DegradeTransfer stretches a transfer duration according to any

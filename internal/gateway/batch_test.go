@@ -25,6 +25,11 @@ func TestQueueBoundRejects(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
 	}
+	// The rejection tells clients when to come back (RFC 9110 §10.2.3)
+	// and still carries the JSON error body.
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want %q", got, "1")
+	}
 	var e map[string]string
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
 		t.Errorf("429 body: %v %v", e, err)
@@ -169,8 +174,17 @@ func TestBatchValidation(t *testing.T) {
 	// request.
 	s.SetMaxQueued(1)
 	r := post(`{"runs":[{"profile":"tiny"},{"profile":"tiny"}]}`)
-	r.Body.Close()
 	if r.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("oversized batch: status %d, want 429", r.StatusCode)
 	}
+	// The batch 429 carries the same backoff hint and JSON body as
+	// single-run backpressure.
+	if got := r.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("batch Retry-After = %q, want %q", got, "1")
+	}
+	var e map[string]string
+	if err := json.NewDecoder(r.Body).Decode(&e); err != nil || e["error"] == "" {
+		t.Errorf("batch 429 body: %v %v", e, err)
+	}
+	r.Body.Close()
 }

@@ -10,6 +10,7 @@
 //	POST /api/batch             submit a batch, wait for ordered results
 //	GET  /api/runs              list runs and statuses
 //	GET  /api/runs/{id}         one run's report
+//	POST /api/runs/{id}/resume  resume a failed run from its journal
 //	GET  /api/runs/{id}/transcripts   assembled transcripts (FASTA)
 //	GET  /api/runs/{id}/trace   Chrome trace_event JSON for the run
 //	GET  /api/metrics           Prometheus text exposition
@@ -23,6 +24,12 @@
 // registry: gateway counters plus aggregate TTC/cost histograms over
 // finished runs (per-run values stay in the run views, keeping metric
 // cardinality constant under sustained load).
+//
+// With EnableJournal the gateway itself survives loss: the run table
+// and bounded queue persist through an event log, every run executes
+// under a per-run pipeline journal, and a restarted gateway re-adopts
+// in-flight runs — resuming interrupted ones from their journals
+// instead of re-executing completed work (see journal.go).
 package gateway
 
 import (
@@ -30,6 +37,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -134,12 +143,17 @@ type RunView struct {
 // run is the internal record. cfg and ds hold the prepared work for a
 // queued run; the worker that picks it up clears ds so the dataset is
 // not pinned past the run (profiles are memoized in simdata anyway).
+// Under EnableJournal, journalPath is the run's pipeline journal and
+// resumeFrom (when set) tells the worker to continue that journal
+// instead of starting over.
 type run struct {
-	view   RunView
-	report *core.Report
-	obs    *obs.Obs
-	cfg    core.Config
-	ds     *simdata.Dataset
+	view        RunView
+	report      *core.Report
+	obs         *obs.Obs
+	cfg         core.Config
+	ds          *simdata.Dataset
+	journalPath string
+	resumeFrom  string
 }
 
 // Server is the gateway. Create with NewServer and mount via Handler.
@@ -156,6 +170,8 @@ type Server struct {
 	workerWG      sync.WaitGroup // the fixed worker pool
 	runsWG        sync.WaitGroup // submitted-but-not-terminal runs
 	metrics       *obs.Registry
+	journalDir    string   // set by EnableJournal
+	events        *os.File // the gateway.jsonl event log, nil when not journaling
 }
 
 // NewServer returns a gateway executing at most maxConcurrent runs at
@@ -211,11 +227,13 @@ func (s *Server) worker() {
 		s.queue = s.queue[1:]
 		rn := s.runs[id]
 		cfg, ds := rn.cfg, rn.ds
+		journalPath, resumeFrom := rn.journalPath, rn.resumeFrom
 		rn.ds = nil
+		rn.resumeFrom = ""
 		s.mu.Unlock()
 
 		s.setStatus(id, StatusRunning, nil, "")
-		rep, err := core.Run(ds, cfg)
+		rep, err := executeRun(cfg, ds, journalPath, resumeFrom)
 		if err != nil {
 			s.setStatus(id, StatusFailed, rep, err.Error())
 			continue
@@ -252,6 +270,12 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.cond.Broadcast()
 	s.workerWG.Wait()
+	s.mu.Lock()
+	if s.events != nil {
+		s.events.Close()
+		s.events = nil
+	}
+	s.mu.Unlock()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -262,6 +286,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// RetryAfterSeconds is the backoff hint on 429 responses. The queue
+// drains at simulated-pipeline speed, so a short retry is honest.
+const RetryAfterSeconds = 1
+
+// writeTooManyRequests answers 429 with a Retry-After header and the
+// usual JSON error body, so both header-driven and body-driven
+// clients can back off.
+func writeTooManyRequests(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds))
+	writeErr(w, http.StatusTooManyRequests, format, args...)
 }
 
 func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
@@ -326,7 +362,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		view, err := s.submit(req)
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			writeErr(w, http.StatusTooManyRequests, "%v", err)
+			writeTooManyRequests(w, "%v", err)
 			return
 		case errors.Is(err, errClosed):
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -342,12 +378,20 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/runs/")
+	parts := strings.Split(rest, "/")
+	if len(parts) == 2 && parts[1] == "resume" {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		s.handleResume(w, parts[0])
+		return
+	}
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	rest := strings.TrimPrefix(r.URL.Path, "/api/runs/")
-	parts := strings.Split(rest, "/")
 	s.mu.Lock()
 	rn, ok := s.runs[parts[0]]
 	s.mu.Unlock()
@@ -456,10 +500,14 @@ func (s *Server) submit(req RunRequest) (RunView, error) {
 	id := fmt.Sprintf("run-%05d", s.nextID)
 	view := RunView{ID: id, Status: StatusQueued, Request: req}
 	rn := &run{view: view, obs: cfg.Obs, cfg: cfg, ds: ds}
+	if s.journalDir != "" {
+		rn.journalPath = filepath.Join(s.journalDir, id+".journal")
+	}
 	s.runs[id] = rn
 	s.order = append(s.order, id)
 	s.queue = append(s.queue, id)
 	s.runsWG.Add(1)
+	s.logEventLocked(id)
 	s.mu.Unlock()
 	s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(1)
 	s.cond.Signal()
@@ -497,8 +545,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Runs) > maxQueued {
-		writeErr(w, http.StatusTooManyRequests,
-			"batch of %d exceeds queue bound %d", len(req.Runs), maxQueued)
+		writeTooManyRequests(w, "batch of %d exceeds queue bound %d", len(req.Runs), maxQueued)
 		return
 	}
 	cfgs := make([]core.Config, len(req.Runs))
@@ -514,22 +561,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		dss[i] = ds
 	}
 	ids := make([]string, len(req.Runs))
+	paths := make([]string, len(req.Runs))
 	s.mu.Lock()
 	for i := range req.Runs {
 		s.nextID++
 		ids[i] = fmt.Sprintf("run-%05d", s.nextID)
-		s.runs[ids[i]] = &run{
+		rn := &run{
 			view: RunView{ID: ids[i], Status: StatusQueued, Request: req.Runs[i]},
 			obs:  cfgs[i].Obs,
 		}
+		if s.journalDir != "" {
+			rn.journalPath = filepath.Join(s.journalDir, ids[i]+".journal")
+			paths[i] = rn.journalPath
+		}
+		s.runs[ids[i]] = rn
 		s.order = append(s.order, ids[i])
 		s.runsWG.Add(1)
+		s.logEventLocked(ids[i])
 	}
 	s.mu.Unlock()
 	s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(float64(len(ids)))
 	views, err := sweep.Map(len(ids), func(i int) (RunView, error) {
 		s.setStatus(ids[i], StatusRunning, nil, "")
-		rep, runErr := core.Run(dss[i], cfgs[i])
+		rep, runErr := executeRun(cfgs[i], dss[i], paths[i], "")
 		if runErr != nil {
 			s.setStatus(ids[i], StatusFailed, rep, runErr.Error())
 		} else {
@@ -601,6 +655,7 @@ func (s *Server) setStatus(id string, status RunStatus, rep *core.Report, errMsg
 			}
 		}
 	}
+	s.logEventLocked(id)
 }
 
 // buildConfig translates a request into a pipeline configuration and

@@ -1,0 +1,255 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"rnascale/internal/core"
+	"rnascale/internal/journal"
+	"rnascale/internal/obs"
+	"rnascale/internal/simdata"
+)
+
+// gatewayEvent is one line of <dir>/gateway.jsonl: a run's state after
+// a transition. Replay is last-wins per id, so the file is a write-
+// ahead log of the run table and the bounded queue (queued/running
+// views are in-flight work; terminal views are history).
+type gatewayEvent struct {
+	ID   string  `json:"id"`
+	View RunView `json:"view"`
+}
+
+// eventsFileName is the gateway's own event log inside the journal
+// directory; per-run pipeline journals live next to it as <id>.journal.
+const eventsFileName = "gateway.jsonl"
+
+// EnableJournal makes the gateway durable across its own loss: every
+// run-state transition is appended to <dir>/gateway.jsonl and every
+// run executes under a per-run pipeline journal <dir>/<id>.journal.
+// If dir already holds a previous gateway's journal, its run table is
+// rebuilt first and in-flight work is re-adopted: queued runs are
+// re-enqueued, and runs that were mid-flight resume from their
+// pipeline journals (counted by MetricRunsResumed) instead of
+// starting over. Call once, before accepting submissions.
+func (s *Server) EnableJournal(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, eventsFileName)
+	prior, err := readEvents(path)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	if s.events != nil {
+		s.mu.Unlock()
+		f.Close()
+		return fmt.Errorf("gateway: journal already enabled")
+	}
+	if len(s.runs) > 0 {
+		s.mu.Unlock()
+		f.Close()
+		return fmt.Errorf("gateway: enable the journal before accepting submissions")
+	}
+	s.journalDir = dir
+	s.events = f
+
+	var adopted, resumed int
+	for _, ev := range prior {
+		id := ev.ID
+		if _, ok := s.runs[id]; !ok {
+			s.runs[id] = &run{}
+			s.order = append(s.order, id)
+			var n int
+			if _, err := fmt.Sscanf(id, "run-%d", &n); err == nil && n > s.nextID {
+				s.nextID = n
+			}
+		}
+		s.runs[id].view = ev.View
+	}
+	for _, id := range s.order {
+		rn := s.runs[id]
+		switch rn.view.Status {
+		case StatusQueued, StatusRunning:
+		default:
+			continue // terminal: history only
+		}
+		cfg, ds, err := buildConfig(rn.view.Request)
+		if err != nil {
+			// The request can no longer be rebuilt (e.g. a profile was
+			// removed); settle it rather than wedging the queue.
+			rn.view.Status = StatusFailed
+			rn.view.Error = fmt.Sprintf("re-adoption: %v", err)
+			s.logEventLocked(id)
+			continue
+		}
+		cfg.Obs = obs.New()
+		rn.obs, rn.cfg, rn.ds = cfg.Obs, cfg, ds
+		rn.journalPath = filepath.Join(dir, id+".journal")
+		if rn.view.Status == StatusRunning {
+			// The previous gateway died with this run in flight; if its
+			// pipeline journal survived, continue from it instead of
+			// re-executing the completed work.
+			if _, err := journal.Open(rn.journalPath); err == nil {
+				rn.resumeFrom = rn.journalPath
+				resumed++
+			}
+		}
+		rn.view.Status = StatusQueued
+		rn.view.Error = ""
+		s.queue = append(s.queue, id)
+		s.runsWG.Add(1)
+		adopted++
+		s.logEventLocked(id)
+	}
+	s.mu.Unlock()
+
+	if adopted > 0 {
+		s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(float64(adopted))
+	}
+	if resumed > 0 {
+		s.metrics.Counter(obs.MetricRunsResumed,
+			"Runs re-adopted from a surviving pipeline journal after gateway loss.", nil).Add(float64(resumed))
+	}
+	s.cond.Broadcast()
+	return nil
+}
+
+// readEvents replays a gateway event log. A torn trailing line (the
+// previous gateway died mid-append) is tolerated; anything else
+// malformed is an error.
+func readEvents(path string) ([]gatewayEvent, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []gatewayEvent
+	lines := splitLines(b)
+	for i, line := range lines {
+		var ev gatewayEvent
+		if err := json.Unmarshal(line, &ev); err != nil || ev.ID == "" {
+			if i == len(lines)-1 {
+				break
+			}
+			return nil, fmt.Errorf("gateway: %s line %d: %v", eventsFileName, i+1, err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+func splitLines(b []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, c := range b {
+		if c == '\n' {
+			if i > start {
+				out = append(out, b[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(b) {
+		out = append(out, b[start:])
+	}
+	return out
+}
+
+// logEventLocked appends the run's current view to the event log and
+// syncs it. Callers hold s.mu.
+func (s *Server) logEventLocked(id string) {
+	if s.events == nil {
+		return
+	}
+	b, err := json.Marshal(gatewayEvent{ID: id, View: s.runs[id].view})
+	if err != nil {
+		return
+	}
+	if _, err := s.events.Write(append(b, '\n')); err == nil {
+		_ = s.events.Sync()
+	}
+}
+
+// executeRun runs one pipeline run, honoring the run's journal and
+// resume settings: resumeFrom continues an interrupted run's journal
+// in place; otherwise journalPath (when set) makes the run resumable.
+func executeRun(cfg core.Config, ds *simdata.Dataset, journalPath, resumeFrom string) (*core.Report, error) {
+	if resumeFrom != "" {
+		return core.Resume(ds, cfg, resumeFrom)
+	}
+	if journalPath != "" {
+		w, err := journal.Create(journalPath)
+		if err != nil {
+			return nil, err
+		}
+		defer w.Close()
+		cfg.Journal = w
+	}
+	return core.Run(ds, cfg)
+}
+
+// handleResume re-enqueues a failed run to continue from its
+// surviving pipeline journal. Only a failed run with an incomplete
+// journal is resumable; everything else — still queued or running
+// (including a resume already accepted), finished, journal complete,
+// or no journal at all — answers 409 Conflict, so a double resume
+// cannot duplicate work.
+func (s *Server) handleResume(w http.ResponseWriter, id string) {
+	s.mu.Lock()
+	rn, ok := s.runs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "no run %q", id)
+		return
+	}
+	if rn.view.Status != StatusFailed {
+		status := rn.view.Status
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, "run %s is %s, not resumable", id, status)
+		return
+	}
+	lg, err := journal.Open(rn.journalPath)
+	if err != nil {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, "run %s has no surviving journal", id)
+		return
+	}
+	if lg.Complete() {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, "run %s's journal is complete; nothing to resume", id)
+		return
+	}
+	cfg, ds, err := buildConfig(rn.view.Request)
+	if err != nil {
+		s.mu.Unlock()
+		writeErr(w, http.StatusInternalServerError, "rebuild request: %v", err)
+		return
+	}
+	cfg.Obs = obs.New()
+	rn.obs, rn.cfg, rn.ds = cfg.Obs, cfg, ds
+	rn.resumeFrom = rn.journalPath
+	rn.view.Status = StatusQueued
+	rn.view.Error = ""
+	s.queue = append(s.queue, id)
+	s.runsWG.Add(1)
+	s.logEventLocked(id)
+	view := rn.view
+	s.mu.Unlock()
+
+	s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(1)
+	s.metrics.Counter(obs.MetricRunsResumed,
+		"Runs re-adopted from a surviving pipeline journal after gateway loss.", nil).Inc()
+	s.cond.Signal()
+	writeJSON(w, http.StatusAccepted, view)
+}

@@ -1,0 +1,232 @@
+// Package journal implements a deterministic write-ahead run journal.
+//
+// A journal is a sequence of JSON lines, one Record per line. The
+// pipeline appends a record at every stage boundary and at every unit
+// completion, capturing the virtual clock, the accrued cost and a
+// digest of the stage artifacts; each append is flushed (and synced
+// when file-backed) before the run proceeds, so the prefix on disk is
+// always a consistent cut of the run. Resuming replays that prefix —
+// completed units return their journaled results instead of
+// re-executing — and then continues appending, so the journal of a
+// crashed-and-resumed run converges to the record sequence of an
+// uninterrupted one.
+//
+// The package is deliberately free of pipeline knowledge: records
+// carry opaque payloads, and the replay semantics live in the caller
+// (internal/core for the pipeline, internal/gateway for the run
+// table).
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+)
+
+// Schema identifies the journal line format.
+const Schema = "rnascale.journal/v1"
+
+// Record kinds, in the order they appear in a complete journal.
+const (
+	KindHeader     = "header"      // first record: config digest + fault seed
+	KindStageStart = "stage-start" // a pipeline stage began
+	KindUnit       = "unit"        // a compute unit completed (payload = its outputs)
+	KindStageEnd   = "stage-end"   // a pipeline stage ended (digest = stage artifacts)
+	KindComplete   = "complete"    // the run returned (note records the outcome)
+)
+
+// Record is one journal line. VTime and CostUSD snapshot the virtual
+// clock and the accrued bill at the moment the record was written;
+// for unit records VTime is the unit's virtual completion time.
+type Record struct {
+	Seq             int             `json:"seq"`
+	Kind            string          `json:"kind"`
+	Stage           string          `json:"stage,omitempty"`
+	Unit            string          `json:"unit,omitempty"`
+	VTime           float64         `json:"vtime"`
+	CostUSD         float64         `json:"costUSD"`
+	DurationSeconds float64         `json:"durationSeconds,omitempty"`
+	PeakMemoryGB    float64         `json:"peakMemoryGB,omitempty"`
+	Seed            uint64          `json:"seed,omitempty"`
+	Digest          string          `json:"digest,omitempty"`
+	Note            string          `json:"note,omitempty"`
+	Payload         json.RawMessage `json:"payload,omitempty"`
+}
+
+// Digest returns the content digest used for journal payloads and
+// stage artifacts: 64-bit FNV-1a in hex.
+func Digest(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Writer appends records to a journal. Appends are serialized and,
+// when the journal is file-backed, synced to disk before returning:
+// a record handed to Append survives a crash of the writer's process.
+type Writer struct {
+	mu   sync.Mutex
+	w    io.Writer
+	file *os.File // non-nil when file-backed; synced per append
+	seq  int
+}
+
+// NewWriter returns a Writer over an arbitrary sink (no durability
+// beyond the sink itself). Used by tests and in-memory callers.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Create creates (truncating) a file-backed journal at path.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{w: f, file: f}, nil
+}
+
+// Continue opens an existing journal for resumption: it reads the
+// surviving prefix and returns it alongside a Writer that appends
+// after it, numbering records where the prefix left off.
+func Continue(path string) (*Log, *Writer, error) {
+	lg, err := Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lg, &Writer{w: f, file: f, seq: len(lg.Records)}, nil
+}
+
+// Append stamps the record's sequence number, writes it as one JSON
+// line and flushes it. The stamped record is returned.
+func (w *Writer) Append(rec Record) (Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec.Seq = w.seq
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return rec, fmt.Errorf("journal: marshal record %d: %w", rec.Seq, err)
+	}
+	line = append(line, '\n')
+	if _, err := w.w.Write(line); err != nil {
+		return rec, fmt.Errorf("journal: append record %d: %w", rec.Seq, err)
+	}
+	if w.file != nil {
+		if err := w.file.Sync(); err != nil {
+			return rec, fmt.Errorf("journal: sync record %d: %w", rec.Seq, err)
+		}
+	}
+	w.seq++
+	return rec, nil
+}
+
+// Seq returns the sequence number the next Append will stamp.
+func (w *Writer) Seq() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Close closes the underlying file, if any.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.file != nil {
+		return w.file.Close()
+	}
+	return nil
+}
+
+// Log is a journal read back from storage.
+type Log struct {
+	Records []Record
+}
+
+// Open reads the journal at path.
+func Open(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read parses a journal from r, verifying sequence numbers and the
+// payload digest of every payload-bearing record.
+func Read(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	var recs []Record
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("journal: record %d: %w", len(recs), err)
+		}
+		if rec.Seq != len(recs) {
+			return nil, fmt.Errorf("journal: record %d carries seq %d", len(recs), rec.Seq)
+		}
+		if len(rec.Payload) > 0 {
+			if got := Digest(rec.Payload); got != rec.Digest {
+				return nil, fmt.Errorf("journal: record %d payload digest %s does not match stored %s",
+					rec.Seq, got, rec.Digest)
+			}
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: read: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("journal: empty")
+	}
+	if recs[0].Kind != KindHeader {
+		return nil, fmt.Errorf("journal: first record is %q, want %q", recs[0].Kind, KindHeader)
+	}
+	return &Log{Records: recs}, nil
+}
+
+// Header returns the journal's header record.
+func (l *Log) Header() Record { return l.Records[0] }
+
+// Complete reports whether the journal records a finished run (the
+// run returned, successfully or not, and wrote its final record).
+// A journal that is not complete belongs to an interrupted run and
+// is resumable.
+func (l *Log) Complete() bool {
+	return l.Records[len(l.Records)-1].Kind == KindComplete
+}
+
+// LastVTime returns the largest virtual time recorded in the journal.
+// Records are appended in non-decreasing virtual-time order, but the
+// maximum is taken defensively.
+func (l *Log) LastVTime() float64 {
+	var max float64
+	for _, r := range l.Records {
+		if r.VTime > max {
+			max = r.VTime
+		}
+	}
+	return max
+}
+
+// Units returns the number of unit-completion records in the journal.
+func (l *Log) Units() int {
+	n := 0
+	for _, r := range l.Records {
+		if r.Kind == KindUnit {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"shard":0}`)
+	recs := []Record{
+		{Kind: KindHeader, Seed: 42, Digest: "cfg", Note: "tiny"},
+		{Kind: KindStageStart, Stage: "PA", VTime: 30},
+		{Kind: KindUnit, Stage: "PA", Unit: "preprocess-0", VTime: 120.5, CostUSD: 0.25,
+			DurationSeconds: 90.5, Digest: Digest(payload), Payload: payload},
+		{Kind: KindStageEnd, Stage: "PA", VTime: 121, CostUSD: 0.25, Digest: "abc"},
+		{Kind: KindComplete, VTime: 200, CostUSD: 0.5, Note: "ok"},
+	}
+	for i, rec := range recs {
+		stamped, err := w.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stamped.Seq != i {
+			t.Fatalf("record %d stamped seq %d", i, stamped.Seq)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lg, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lg.Records) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(lg.Records), len(recs))
+	}
+	if !lg.Complete() {
+		t.Error("journal with complete record reports Complete()=false")
+	}
+	if got := lg.LastVTime(); got != 200 {
+		t.Errorf("LastVTime = %v, want 200", got)
+	}
+	if got := lg.Units(); got != 1 {
+		t.Errorf("Units = %d, want 1", got)
+	}
+	u := lg.Records[2]
+	if string(u.Payload) != string(payload) || u.DurationSeconds != 90.5 {
+		t.Errorf("unit record did not round-trip: %+v", u)
+	}
+	if h := lg.Header(); h.Seed != 42 || h.Digest != "cfg" {
+		t.Errorf("header did not round-trip: %+v", h)
+	}
+}
+
+func TestContinueAppendsAfterPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(Record{Kind: KindHeader}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(Record{Kind: KindStageStart, Stage: "PA"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	lg, w2, err := Continue(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lg.Records) != 2 {
+		t.Fatalf("prefix has %d records, want 2", len(lg.Records))
+	}
+	if lg.Complete() {
+		t.Error("interrupted journal reports Complete()=true")
+	}
+	stamped, err := w2.Append(Record{Kind: KindComplete, Note: "ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamped.Seq != 2 {
+		t.Errorf("continued append stamped seq %d, want 2", stamped.Seq)
+	}
+	w2.Close()
+
+	full, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Records) != 3 || !full.Complete() {
+		t.Fatalf("continued journal has %d records complete=%v", len(full.Records), full.Complete())
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"empty", "", "empty"},
+		{"garbage", "not json\n", "record 0"},
+		{"no-header", `{"seq":0,"kind":"unit","vtime":0,"costUSD":0}` + "\n", "first record"},
+		{"bad-seq", `{"seq":0,"kind":"header","vtime":0,"costUSD":0}` + "\n" +
+			`{"seq":5,"kind":"stage-start","vtime":0,"costUSD":0}` + "\n", "carries seq 5"},
+		{"bad-digest", `{"seq":0,"kind":"header","vtime":0,"costUSD":0}` + "\n" +
+			`{"seq":1,"kind":"unit","vtime":0,"costUSD":0,"digest":"0000000000000000","payload":{"a":1}}` + "\n",
+			"digest"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(bytes.NewReader([]byte(tc.body)))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTornTrailingLineIsAnError(t *testing.T) {
+	// A crash between write and sync can leave a torn final line; Read
+	// refuses it rather than silently resuming from ambiguous state.
+	path := filepath.Join(t.TempDir(), "run.journal")
+	body := `{"seq":0,"kind":"header","vtime":0,"costUSD":0}` + "\n" + `{"seq":1,"kind":"stage`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("torn journal opened without error")
+	}
+}
+
+func TestDigestStable(t *testing.T) {
+	if Digest([]byte("abc")) != Digest([]byte("abc")) {
+		t.Error("digest not deterministic")
+	}
+	if Digest([]byte("abc")) == Digest([]byte("abd")) {
+		t.Error("digest does not separate inputs")
+	}
+	if len(Digest(nil)) != 16 {
+		t.Errorf("digest %q not 16 hex chars", Digest(nil))
+	}
+}

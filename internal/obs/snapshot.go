@@ -35,14 +35,30 @@ type StageStat struct {
 // interchange format benchtab writes across PRs to track the perf
 // trajectory.
 type RunSnapshot struct {
-	Schema     string            `json:"schema"`
-	Run        string            `json:"run,omitempty"`
+	Schema string `json:"schema"`
+	Run    string `json:"run,omitempty"`
+	// Resumed marks a run continued from a write-ahead journal after a
+	// driver crash. It is the only field allowed to differ between a
+	// resumed run and its uninterrupted twin: everything else is
+	// byte-identical by the journal replay contract.
+	Resumed    bool              `json:"resumed,omitempty"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
 	TTCSeconds float64           `json:"ttcSeconds"`
 	CostUSD    float64           `json:"costUSD"`
 	Stages     []StageStat       `json:"stages"`
 	Metrics    []MetricPoint     `json:"metrics,omitempty"`
 }
+
+// Journal and resume metric names. MetricJournalRecords lives in the
+// per-run registry and counts records replayed from a surviving
+// journal prefix plus records appended live, so a resumed run and its
+// uninterrupted twin report the same total. MetricRunsResumed is a
+// service-level counter (gateway registry), deliberately kept out of
+// per-run registries so run snapshots stay comparable byte-for-byte.
+const (
+	MetricJournalRecords = "rnascale_journal_records_total"
+	MetricRunsResumed    = "rnascale_runs_resumed_total"
+)
 
 // Snapshot folds a tracer and registry into a RunSnapshot. The first
 // root span of kind "run" provides the run identity and total TTC;

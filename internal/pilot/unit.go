@@ -178,6 +178,7 @@ type UnitManager struct {
 	// yet executed — the pending-load signal for LeastLoaded.
 	boundSlots map[*Pilot]int
 	obs        *obs.Obs
+	onUnitDone func(u *Unit, at vclock.Time)
 }
 
 // NewUnitManager returns a unit manager over the shared store.
@@ -188,6 +189,13 @@ func NewUnitManager(store *StateStore, clock *vclock.Clock, policy SchedulingPol
 // SetObs attaches an observability bundle for the retry/recovery
 // counters; nil detaches it.
 func (um *UnitManager) SetObs(o *obs.Obs) { um.obs = o }
+
+// SetOnUnitDone registers a callback invoked once per unit that
+// reaches AGENT_DONE, in virtual-time order, with the unit's terminal
+// time. The core pipeline hooks its run journal here: the callback
+// fires after the Done transition, so the journaled unit is already
+// durable in the state store when the record is written.
+func (um *UnitManager) SetOnUnitDone(f func(u *Unit, at vclock.Time)) { um.onUnitDone = f }
 
 // count increments an unlabelled unit-manager counter.
 func (um *UnitManager) count(name, help string) {
@@ -339,6 +347,9 @@ func (um *UnitManager) Run() error {
 		}
 		if err := um.store.Transition(o.u.ID, string(UnitDone), o.at, "exit 0"); err != nil {
 			return err
+		}
+		if um.onUnitDone != nil {
+			um.onUnitDone(o.u, o.at)
 		}
 	}
 	um.clock.AdvanceTo(latest)

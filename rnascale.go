@@ -38,6 +38,7 @@ import (
 	_ "rnascale/internal/assembler/all" // register the Table I assemblers
 	"rnascale/internal/core"
 	"rnascale/internal/faults"
+	"rnascale/internal/journal"
 	"rnascale/internal/simdata"
 )
 
@@ -159,6 +160,35 @@ type RecoveryReport = core.RecoveryReport
 // "crash:p=0.1,after=600;slowxfer:x=0.5". See internal/faults for the
 // grammar.
 func ParseFaultSpec(spec string) (*FaultPlan, error) { return faults.ParseSpec(spec) }
+
+// Journal is a write-ahead run journal; assign one (via CreateJournal)
+// to Config.Journal to make a run resumable across driver loss.
+type Journal = journal.Writer
+
+// JournalStats summarizes a run's journal activity
+// (Report.Journal): how many records and units were replayed from a
+// surviving journal versus executed live.
+type JournalStats = core.JournalStats
+
+// DriverCrashError is returned by Run when an injected
+// "drivercrash:at=<vtime>" fault kills the driver at a journal
+// checkpoint. The journal written so far survives; pass it to Resume.
+type DriverCrashError = core.DriverCrashError
+
+// CreateJournal opens a write-ahead run journal at path for
+// Config.Journal. Close it after the run returns.
+func CreateJournal(path string) (*Journal, error) { return journal.Create(path) }
+
+// Resume continues an interrupted run from its write-ahead journal.
+// ds and cfg must match the original run (verified via a config
+// digest in the journal header). Completed stages and units are
+// replayed from the journal — not re-executed — and the run continues
+// from the crash point; the final report, metrics and Chrome trace
+// are byte-identical to an uninterrupted run's, except for the
+// snapshot's Resumed marker.
+func Resume(ds *Dataset, cfg Config, path string) (*Report, error) {
+	return core.Resume(ds, cfg, path)
+}
 
 // Assemblers lists the names of the integrated de novo assemblers:
 // the paper's three distributed tools (Table I), Rnnotator's stock
