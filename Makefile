@@ -10,12 +10,25 @@ COVER_SPECS = internal/cloud:80 internal/pilot:80 internal/core:75
 FUZZ_TARGETS = FuzzParseFasta FuzzParseFastq FuzzParseSFA
 FUZZ_TIME ?= 10s
 
-.PHONY: all build test vet race cover fuzz-smoke sweep-determinism journal-determinism check bench clean
+.PHONY: all build test vet lint race cover fuzz-smoke sweep-determinism journal-determinism check bench clean
+
+# Coverage profiles land here instead of littering the repo root.
+BUILD_DIR = build
 
 all: build
 
+# build compiles everything, then asserts that the rnavet analyzer
+# itself stays stdlib-only (its only non-standard deps are module
+# packages, and nothing under net/): the determinism gate must keep
+# running on the offline single-CPU machine with just the toolchain.
 build:
 	$(GO) build ./...
+	@nonstd=$$($(GO) list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' ./cmd/rnavet | grep -v '^rnascale' || true); \
+	netdeps=$$($(GO) list -deps ./cmd/rnavet | grep -E '^net(/|$$)' || true); \
+	if [ -n "$$nonstd$$netdeps" ]; then \
+		echo "FAIL: cmd/rnavet must stay stdlib-only with no network imports:"; \
+		echo "$$nonstd $$netdeps"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -23,14 +36,24 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs rnavet, the project's determinism and simulation-integrity
+# analyzer (see internal/analysis): wall-clock reads in simulation
+# packages, global math/rand usage, order-dependent emission from map
+# iteration, and wall-clock types on simulation APIs. rnavet prints a
+# one-line summary (checks run, files scanned, findings) and exits
+# non-zero on any finding — including stale //rnavet:allow directives.
+lint:
+	$(GO) run ./cmd/rnavet ./...
+
 race:
 	$(GO) test -race ./...
 
 # cover enforces the per-package coverage floors on the packages the
 # fault-injection and recovery paths live in.
 cover:
+	@mkdir -p $(BUILD_DIR)
 	@for spec in $(COVER_SPECS); do \
-		pkg=$${spec%%:*}; floor=$${spec##*:}; out=cover.$$(basename $$pkg).out; \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; out=$(BUILD_DIR)/cover.$$(basename $$pkg).out; \
 		$(GO) test -coverprofile=$$out ./$$pkg || exit 1; \
 		pct=$$($(GO) tool cover -func=$$out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 		echo "$$pkg coverage $$pct% (floor $$floor%)"; \
@@ -60,11 +83,11 @@ sweep-determinism:
 journal-determinism:
 	$(GO) test -race -run 'TestKillAndResumeByteIdentical|TestResumeOfCompleteJournal|TestChaosDriverCrashResumeSoak' ./internal/core
 
-# check is the gate a change must pass before review: static analysis,
-# the full test suite under the race detector, the coverage floors,
-# the sweep determinism contract, the journal resume contract and a
-# fuzz smoke pass.
-check: vet race cover sweep-determinism journal-determinism fuzz-smoke
+# check is the gate a change must pass before review: static analysis
+# (go vet plus the rnavet determinism analyzer), the full test suite
+# under the race detector, the coverage floors, the sweep determinism
+# contract, the journal resume contract and a fuzz smoke pass.
+check: vet lint race cover sweep-determinism journal-determinism fuzz-smoke
 
 # bench regenerates the paper tables at quick scale and refreshes
 # BENCH_results.json (per-stage TTC/cost snapshots, plus the pass's
@@ -73,5 +96,6 @@ bench:
 	$(GO) run ./cmd/benchtab -experiment all
 
 clean:
+	rm -rf $(BUILD_DIR)
 	rm -f BENCH_results.json cover.*.out
 	$(GO) clean ./...

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix starts a suppression directive. Grammar:
+//
+//	//rnavet:allow <check> — <reason>
+//
+// The separator may be an em dash, en dash, "--" or "-". The reason
+// is mandatory: suppressions are audit records, not switches.
+const allowPrefix = "//rnavet:allow"
+
+// An allowDirective is one parsed suppression comment. A directive
+// covers diagnostics of its check on the same line (trailing comment)
+// or on the line directly below (standalone comment above the code).
+type allowDirective struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   int // diagnostics suppressed by this directive
+}
+
+// parseAllowDirectives scans a package's comments for allow
+// directives.
+func parseAllowDirectives(pkg *Package) []*allowDirective {
+	var dirs []*allowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				d := &allowDirective{pos: pkg.Fset.Position(c.Pos())}
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					d.check = rest[:i]
+					d.reason = trimReason(rest[i:])
+				} else {
+					d.check = rest
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// trimReason strips the leading separator from the directive's tail.
+func trimReason(s string) string {
+	s = strings.TrimSpace(s)
+	for _, sep := range []string{"—", "–", "--", "-"} {
+		if strings.HasPrefix(s, sep) {
+			return strings.TrimSpace(strings.TrimPrefix(s, sep))
+		}
+	}
+	return s
+}
+
+// covers reports whether the directive suppresses a diagnostic: same
+// file, same check, and the diagnostic sits on the directive's line
+// or the line directly below it.
+func (d *allowDirective) covers(diag Diagnostic) bool {
+	return d.check == diag.Check &&
+		d.pos.Filename == diag.File &&
+		(diag.Line == d.pos.Line || diag.Line == d.pos.Line+1)
+}
+
+// applyAllows filters diags through the directives and appends the
+// suppression system's own diagnostics: unknown check names, missing
+// reasons, and stale directives that suppressed nothing. known lists
+// every catalogue check; ran lists the checks that executed this run
+// (a directive for a check that did not run cannot be judged stale).
+func applyAllows(diags []Diagnostic, dirs []*allowDirective, known, ran map[string]bool) []Diagnostic {
+	valid := make([]*allowDirective, 0, len(dirs))
+	var out []Diagnostic
+	for _, d := range dirs {
+		switch {
+		case d.check == "":
+			out = append(out, allowDiag(d, "directive missing a check name; want //rnavet:allow <check> — <reason>"))
+		case !known[d.check]:
+			out = append(out, allowDiag(d, "unknown check %q in allow directive", d.check))
+		case d.reason == "":
+			out = append(out, allowDiag(d, "allow directive for %q missing a reason; suppressions must be auditable", d.check))
+		default:
+			valid = append(valid, d)
+		}
+	}
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range valid {
+			if d.covers(diag) {
+				d.used++
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	for _, d := range valid {
+		if d.used == 0 && ran[d.check] {
+			out = append(out, allowDiag(d, "stale allow for %q: no diagnostic suppressed — remove the directive", d.check))
+		}
+	}
+	return out
+}
+
+func allowDiag(d *allowDirective, format string, args ...any) Diagnostic {
+	diag := Diagnostic{
+		Pos:   d.pos,
+		File:  d.pos.Filename,
+		Line:  d.pos.Line,
+		Col:   d.pos.Column,
+		Check: AllowCheckName,
+	}
+	diag.Message = fmt.Sprintf(format, args...)
+	return diag
+}

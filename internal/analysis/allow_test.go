@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestTrimReason pins the separator grammar: em dash (the documented
+// form), en dash, double and single hyphen, and bare reasons.
+func TestTrimReason(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"— bench measures real time", "bench measures real time"},
+		{"– spaced en dash", "spaced en dash"},
+		{"-- double hyphen", "double hyphen"},
+		{"- single hyphen", "single hyphen"},
+		{"no separator at all", "no separator at all"},
+		{"", ""},
+		{"—", ""},
+	}
+	for _, c := range cases {
+		if got := trimReason(c.in); got != c.want {
+			t.Errorf("trimReason(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestAllowCovers pins the two-line coverage window: same line as the
+// directive, or the line directly below — nothing else.
+func TestAllowCovers(t *testing.T) {
+	d := &allowDirective{
+		pos:    token.Position{Filename: "f.go", Line: 10},
+		check:  "wallclock",
+		reason: "r",
+	}
+	diag := func(file string, line int, check string) Diagnostic {
+		return Diagnostic{File: file, Line: line, Check: check}
+	}
+	cases := []struct {
+		diag Diagnostic
+		want bool
+	}{
+		{diag("f.go", 10, "wallclock"), true},
+		{diag("f.go", 11, "wallclock"), true},
+		{diag("f.go", 9, "wallclock"), false},
+		{diag("f.go", 12, "wallclock"), false},
+		{diag("g.go", 10, "wallclock"), false},
+		{diag("f.go", 10, "maporder"), false},
+	}
+	for i, c := range cases {
+		if got := d.covers(c.diag); got != c.want {
+			t.Errorf("case %d: covers(%+v) = %v, want %v", i, c.diag, got, c.want)
+		}
+	}
+}
+
+// TestApplyAllowsStaleRespectsRanSet: a directive for a check that
+// did not run this invocation must not be reported stale — otherwise
+// `rnavet -checks wallclock` would flag every maporder allow in the
+// tree.
+func TestApplyAllowsStaleRespectsRanSet(t *testing.T) {
+	known := map[string]bool{"wallclock": true, "maporder": true}
+	dirs := []*allowDirective{
+		{pos: token.Position{Filename: "f.go", Line: 3}, check: "maporder", reason: "r"},
+	}
+	out := applyAllows(nil, dirs, known, map[string]bool{"wallclock": true})
+	if len(out) != 0 {
+		t.Errorf("directive for non-run check reported: %v", out)
+	}
+	out = applyAllows(nil, dirs, known, map[string]bool{"maporder": true})
+	if len(out) != 1 || out[0].Check != AllowCheckName {
+		t.Errorf("want one stale-allow diagnostic, got %v", out)
+	}
+}
+
+// TestApplyAllowsSuppressionCounts: one directive may cover several
+// diagnostics on its line pair, and suppressed diagnostics vanish.
+func TestApplyAllowsSuppressionCounts(t *testing.T) {
+	known := map[string]bool{"globalrand": true}
+	ran := map[string]bool{"globalrand": true}
+	d := &allowDirective{pos: token.Position{Filename: "f.go", Line: 5}, check: "globalrand", reason: "r"}
+	diags := []Diagnostic{
+		{File: "f.go", Line: 5, Check: "globalrand", Message: "a"},
+		{File: "f.go", Line: 6, Check: "globalrand", Message: "b"},
+		{File: "f.go", Line: 9, Check: "globalrand", Message: "c"},
+	}
+	out := applyAllows(diags, []*allowDirective{d}, known, ran)
+	if len(out) != 1 || out[0].Message != "c" {
+		t.Errorf("want only the uncovered diagnostic to survive, got %v", out)
+	}
+	if d.used != 2 {
+		t.Errorf("directive used count = %d, want 2", d.used)
+	}
+}

@@ -1,0 +1,172 @@
+// Package analysis is rnascale's determinism and simulation-integrity
+// analyzer ("rnavet"). It loads every package in the module with the
+// standard library's go/parser and go/types, runs a set of
+// project-specific checks, and reports diagnostics that would — if
+// left in the tree — break the contracts the rest of the test suite
+// pins: byte-identical chaos replays, worker-count-invariant sweeps,
+// and resume-equals-uninterrupted journal replay.
+//
+// The analyzer is deliberately stdlib-only (go/ast, go/parser,
+// go/token, go/types, go/importer plus os/exec to ask the go tool for
+// export data), so it runs on the offline single-CPU build machine
+// with nothing but the toolchain.
+//
+// # Checks
+//
+//   - wallclock:  simulation packages must not read the wall clock
+//     (time.Now, time.Sleep, time.Since, ...); virtual time comes
+//     from internal/vclock.
+//   - globalrand: no math/rand package-level functions (hidden global
+//     source), and no ad-hoc rand.New/rand.NewSource construction —
+//     randomness flows from the seed-split PRNG in internal/faults,
+//     or an explicitly seeded source annotated with an allow.
+//   - maporder:   no range over a map whose body appends to a slice,
+//     writes to an encoder/builder/io.Writer, or emits metrics —
+//     unless the iteration is provably order-independent (key-indexed
+//     writes) or the collected keys are sorted immediately after.
+//   - vtimeleak:  exported functions in simulation packages must not
+//     accept or return time.Time/time.Duration; virtual quantities
+//     use vclock.Time/vclock.Duration.
+//
+// # Simulation packages
+//
+// A package is a simulation package if it depends (directly or
+// transitively) on rnascale/internal/vclock, or if any of its files
+// carries a "//rnavet:simulation" comment (used by test fixtures).
+//
+// # Suppression
+//
+// A legitimate exception is annotated at the offending line (trailing
+// comment) or on the line directly above it:
+//
+//	start := time.Now() //rnavet:allow wallclock — bench measures real elapsed time
+//
+// Every allow directive must name a known check, carry a reason, and
+// actually suppress at least one diagnostic; violations of any of
+// those rules are themselves diagnostics (check name "allow"), so
+// stale suppressions cannot linger.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Check is one analysis pass. Checks are pure: they inspect a
+// type-checked package and report diagnostics through the Pass.
+type Check interface {
+	// Name is the short identifier used in diagnostics, the -checks
+	// flag and allow directives.
+	Name() string
+	// Doc is a one-line description for usage output.
+	Doc() string
+	// Run inspects one package.
+	Run(p *Pass)
+}
+
+// AllowCheckName is the pseudo-check under which the driver reports
+// problems with the suppression directives themselves (stale allows,
+// unknown check names, missing reasons). It cannot be suppressed and
+// cannot be disabled.
+const AllowCheckName = "allow"
+
+// Checks returns the full catalogue in reporting order.
+func Checks() []Check {
+	return []Check{
+		&WallclockCheck{},
+		&GlobalRandCheck{},
+		&MapOrderCheck{},
+		&VTimeLeakCheck{},
+	}
+}
+
+// CheckNames returns the names of the full catalogue.
+func CheckNames() []string {
+	var names []string
+	for _, c := range Checks() {
+		names = append(names, c.Name())
+	}
+	return names
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	Check   string         `json:"check"`
+	Message string         `json:"message"`
+}
+
+// String renders the canonical "file:line:col [check] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("rnascale/internal/core").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files holds the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+	// Simulation marks packages subject to the wallclock and
+	// vtimeleak checks (see the package documentation).
+	Simulation bool
+}
+
+// A Pass hands one package to one check and collects its reports.
+type Pass struct {
+	Pkg *Package
+	// IOWriter is the io.Writer interface type, used by maporder to
+	// recognize emission targets; nil when "io" could not be loaded
+	// (the structural tests still apply).
+	IOWriter *types.Interface
+
+	check string
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic for the running check at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, then
+// check name, so output is deterministic however checks ran.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Options configures one driver run.
+type Options struct {
+	// Checks selects a subset of the catalogue by name; empty runs
+	// every check.
+	Checks []string
+	// IOWriter lets maporder recognize io.Writer emission targets;
+	// usually Loader.IOWriter().
+	IOWriter *types.Interface
+}
+
+// A Result is the outcome of analyzing a set of packages.
+type Result struct {
+	// Checks lists the checks that ran, in catalogue order.
+	Checks []string `json:"checks"`
+	// Packages and FilesScanned size the run.
+	Packages     int `json:"packages"`
+	FilesScanned int `json:"filesScanned"`
+	// Findings holds the surviving diagnostics, position-sorted.
+	Findings []Diagnostic `json:"findings"`
+}
+
+// Run executes the selected checks over the packages, applies the
+// allow directives, and returns the surviving diagnostics.
+func Run(pkgs []*Package, opts Options) (*Result, error) {
+	catalogue := Checks()
+	known := make(map[string]bool, len(catalogue))
+	for _, c := range catalogue {
+		known[c.Name()] = true
+	}
+
+	enabled := catalogue
+	if len(opts.Checks) > 0 {
+		byName := make(map[string]Check, len(catalogue))
+		for _, c := range catalogue {
+			byName[c.Name()] = c
+		}
+		enabled = enabled[:0:0]
+		for _, name := range opts.Checks {
+			c, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("analysis: unknown check %q (have %s)", name, strings.Join(CheckNames(), ", "))
+			}
+			enabled = append(enabled, c)
+		}
+	}
+	ran := make(map[string]bool, len(enabled))
+	res := &Result{Packages: len(pkgs)}
+	for _, c := range enabled {
+		ran[c.Name()] = true
+		res.Checks = append(res.Checks, c.Name())
+	}
+
+	var diags []Diagnostic
+	var dirs []*allowDirective
+	for _, pkg := range pkgs {
+		res.FilesScanned += len(pkg.Files)
+		for _, c := range enabled {
+			pass := &Pass{Pkg: pkg, IOWriter: opts.IOWriter, check: c.Name(), diags: &diags}
+			c.Run(pass)
+		}
+		dirs = append(dirs, parseAllowDirectives(pkg)...)
+	}
+
+	res.Findings = applyAllows(diags, dirs, known, ran)
+	if res.Findings == nil {
+		res.Findings = []Diagnostic{} // JSON reports render an empty list, not null
+	}
+	sortDiagnostics(res.Findings)
+	return res, nil
+}
+
+// Rel rewrites finding paths relative to base, leaving paths outside
+// base untouched. It keeps reports readable and goldens stable.
+func (r *Result) Rel(base string) {
+	for i := range r.Findings {
+		if rel, err := filepath.Rel(base, r.Findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			r.Findings[i].File = rel
+		}
+	}
+}
+
+// WriteText renders findings one per line in the canonical
+// "file:line:col [check] message" form.
+func (r *Result) WriteText(w io.Writer) error {
+	for _, d := range r.Findings {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the full result as an indented JSON report.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary is the one-line description printed by make lint: what ran,
+// over how much code, with how many findings.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("rnavet: %d checks (%s) over %d packages / %d files: %d findings",
+		len(r.Checks), strings.Join(r.Checks, ","), r.Packages, r.FilesScanned, len(r.Findings))
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrderCheck reports ranges over maps whose bodies emit in
+// iteration order: appending to a slice, writing to a builder,
+// encoder or io.Writer, recording metrics or span events, or sending
+// on a channel. Go randomizes map iteration, so any of these turns a
+// byte-identical golden into a coin flip.
+//
+// Two shapes are recognized as order-independent and exempted:
+//
+//   - key-indexed writes, m2[k] = append(m2[k], ...), where k is the
+//     range key: every iteration order produces the same map;
+//   - collect-then-sort, keys = append(keys, k) followed — after the
+//     loop, in the same block — by a sort or slices call over the
+//     collected slice.
+//
+// Anything else either iterates sorted keys instead or carries an
+// //rnavet:allow maporder directive.
+type MapOrderCheck struct{}
+
+// Name implements Check.
+func (*MapOrderCheck) Name() string { return "maporder" }
+
+// Doc implements Check.
+func (*MapOrderCheck) Doc() string {
+	return "no order-dependent emission from inside a range over a map"
+}
+
+// emitterTypes are accumulating output types recognized by receiver
+// identity: writes to these inside a map range serialize map order.
+var emitterTypes = map[string]bool{
+	"bytes.Buffer":          true,
+	"strings.Builder":       true,
+	"bufio.Writer":          true,
+	"encoding/json.Encoder": true,
+	"encoding/xml.Encoder":  true,
+}
+
+// obsEmitMethods are the internal/obs methods that record a value or
+// event; calling them per map-iteration orders metrics and traces
+// nondeterministically.
+var obsEmitMethods = map[string]bool{
+	"Add":       true,
+	"Inc":       true,
+	"Set":       true,
+	"SetAttr":   true,
+	"SetAttrf":  true,
+	"Observe":   true,
+	"Event":     true,
+	"StartSpan": true,
+}
+
+// Run implements Check.
+func (c *MapOrderCheck) Run(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				c.scanStmts(p, b.List)
+			case *ast.CaseClause:
+				c.scanStmts(p, b.Body)
+			case *ast.CommClause:
+				c.scanStmts(p, b.Body)
+			}
+			return true
+		})
+	}
+}
+
+// scanStmts examines the direct statements of one block, so each map
+// range is analyzed exactly once, with access to the statements that
+// follow it (for the collect-then-sort exemption).
+func (c *MapOrderCheck) scanStmts(p *Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		rs, ok := s.(*ast.RangeStmt)
+		if !ok || !isMapRange(p, rs) {
+			continue
+		}
+		c.checkMapRange(p, rs, stmts[i+1:])
+	}
+}
+
+func isMapRange(p *Pass, rs *ast.RangeStmt) bool {
+	t := p.Pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body. rest holds the
+// statements following the loop in its enclosing block.
+func (c *MapOrderCheck) checkMapRange(p *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	keyObj := identObj(p, rs.Key)
+
+	handled := make(map[*ast.CallExpr]bool)
+	type candidate struct {
+		obj  types.Object
+		call *ast.CallExpr
+	}
+	var candidates []candidate
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		// Nested map ranges are statements of some inner block and
+		// get their own analysis; do not double-report their bodies.
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs && isMapRange(p, inner) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isAppendCall(p, call) {
+				return true
+			}
+			handled[call] = true
+			// m2[k] = append(m2[k], ...): order-independent.
+			if idx, ok := n.Lhs[0].(*ast.IndexExpr); ok && keyObj != nil && identObj(p, idx.Index) == keyObj {
+				return true
+			}
+			if obj := identObj(p, n.Lhs[0]); obj != nil {
+				candidates = append(candidates, candidate{obj, call})
+				return true
+			}
+			p.Reportf(call.Pos(), "append inside range over map; iteration order leaks into the slice — iterate sorted keys")
+		case *ast.CallExpr:
+			if isAppendCall(p, n) {
+				if !handled[n] {
+					p.Reportf(n.Pos(), "append inside range over map; iteration order leaks into the slice — iterate sorted keys")
+					handled[n] = true
+				}
+				return true
+			}
+			if desc := c.classifyEmission(p, n); desc != "" {
+				p.Reportf(n.Pos(), "%s inside range over map; emission order follows randomized map iteration — iterate sorted keys", desc)
+			}
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send inside range over map; receive order follows randomized map iteration — iterate sorted keys")
+		}
+		return true
+	})
+
+	reported := make(map[types.Object]bool)
+	for _, cand := range candidates {
+		if reported[cand.obj] || sortedAfter(p, rest, cand.obj) {
+			continue
+		}
+		reported[cand.obj] = true
+		p.Reportf(cand.call.Pos(), "append to %q inside range over map without sorting it afterwards; sort the collected slice or iterate sorted keys", cand.obj.Name())
+	}
+}
+
+// classifyEmission describes an order-dependent output call, or
+// returns "".
+func (c *MapOrderCheck) classifyEmission(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := p.Pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	// Package-level fmt printers.
+	if obj.Pkg().Path() == "fmt" && (strings.HasPrefix(obj.Name(), "Print") || strings.HasPrefix(obj.Name(), "Fprint")) {
+		return "fmt." + obj.Name() + " call"
+	}
+	selection := p.Pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return ""
+	}
+	recv := derefType(selection.Recv())
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	qual := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	name := obj.Name()
+	writeish := strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Encode")
+	switch {
+	case emitterTypes[qual] && writeish:
+		return qual + "." + name + " write"
+	case strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs") && obsEmitMethods[name]:
+		return "metrics/trace emission " + qual + "." + name
+	case writeish && implementsWriter(p, selection.Recv()):
+		return "io.Writer " + name + " on " + qual
+	}
+	return ""
+}
+
+// sortedAfter reports whether any statement in rest calls into
+// package sort or slices mentioning obj — the collect-then-sort
+// idiom.
+func sortedAfter(p *Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, s := range rest {
+		var call *ast.CallExpr
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				call, _ = s.Rhs[0].(*ast.CallExpr)
+			}
+		}
+		if call == nil {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		fn := p.Pkg.Info.Uses[sel.Sel]
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			continue
+		}
+		mentions := false
+		ast.Inspect(call, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.Pkg.Info.Uses[id] == obj {
+				mentions = true
+			}
+			return !mentions
+		})
+		if mentions {
+			return true
+		}
+	}
+	return false
+}
+
+// identObj resolves a plain identifier expression to its object
+// (definition or use), or nil.
+func identObj(p *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := p.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Uses[id]
+}
+
+func isAppendCall(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func derefType(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// implementsWriter reports whether t (or *t) satisfies io.Writer.
+func implementsWriter(p *Pass, t types.Type) bool {
+	if p.IOWriter == nil {
+		return false
+	}
+	if types.Implements(t, p.IOWriter) {
+		return true
+	}
+	return types.Implements(types.NewPointer(t), p.IOWriter)
+}

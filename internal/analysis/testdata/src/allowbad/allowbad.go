@@ -1,0 +1,31 @@
+// Package allowbad is a golden fixture for the suppression system's
+// own diagnostics: stale directives, unknown check names, and
+// missing reasons.
+package allowbad
+
+import "math/rand"
+
+// Quiet has nothing to suppress: the directive below is stale.
+func Quiet() int {
+	//rnavet:allow globalrand — nothing here actually uses math/rand
+	return 42
+}
+
+// Typo names a check that does not exist.
+func Typo() int {
+	//rnavet:allow mapodrer — misspelled check name
+	return 7
+}
+
+// Bare gives no reason, so the directive is inert and the underlying
+// diagnostic is still reported.
+func Bare() int {
+	//rnavet:allow globalrand
+	return rand.Intn(6) // caught: the reasonless directive does not suppress
+}
+
+// NoName is an allow directive with no check at all.
+func NoName() int {
+	//rnavet:allow
+	return 1
+}

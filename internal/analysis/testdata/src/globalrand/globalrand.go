@@ -1,0 +1,27 @@
+// Package globalrand is a golden fixture for the globalrand check.
+package globalrand
+
+import "math/rand"
+
+// Roll draws from the hidden global source; both calls are caught.
+func Roll() int {
+	rand.Shuffle(3, func(i, j int) {}) // caught: global source
+	return rand.Intn(6)                // caught: global source
+}
+
+// Fresh constructs an ad-hoc generator. The composite
+// rand.New(rand.NewSource(...)) is reported once, at the NewSource.
+func Fresh(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // caught: ad-hoc source
+}
+
+// Seeded is an explicitly seeded, deterministic source; the allow
+// directive records why it is legitimate.
+func Seeded(seed int64) *rand.Rand {
+	//rnavet:allow globalrand — fixture: deterministic profile-seeded source
+	return rand.New(rand.NewSource(seed))
+}
+
+// Derived uses an already-threaded generator; method calls on a
+// *rand.Rand value are not construction sites and are not caught.
+func Derived(rng *rand.Rand) int { return rng.Intn(6) }

@@ -1,0 +1,76 @@
+// Package maporder is a golden fixture for the maporder check.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Leak collects map values in iteration order with no sort after the
+// loop: the slice's order is a coin flip.
+func Leak(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // caught: no sort after the loop
+	}
+	return out
+}
+
+// Render writes per-key lines straight to a buffer and a writer.
+func Render(m map[string]int) string {
+	var b bytes.Buffer
+	for k, v := range m {
+		b.WriteString(k)            // caught: buffer write
+		fmt.Fprintf(&b, "=%d\n", v) // caught: fmt.Fprintf
+	}
+	return b.String()
+}
+
+// Stream sends map entries down a channel in iteration order.
+func Stream(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // caught: channel send
+	}
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom: the append is
+// exempt because the collected slice is sorted before use.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Regroup is the key-indexed shape: every iteration order produces
+// the same output map, so the append is exempt.
+func Regroup(m map[string][]int, mod int) map[string][]int {
+	out := make(map[string][]int)
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// Checksum folds values commutatively; arithmetic accumulation is
+// order-independent and not caught.
+func Checksum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Sample intentionally emits in map order (a debugging dump whose
+// order is documented as unstable); the allow directive records that.
+func Sample(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) //rnavet:allow maporder — fixture: debug dump, order documented unstable
+	}
+	return out
+}

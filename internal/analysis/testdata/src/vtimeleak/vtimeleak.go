@@ -1,0 +1,34 @@
+// Package vtimeleak is a golden fixture for the vtimeleak check.
+//
+//rnavet:simulation
+package vtimeleak
+
+import "time"
+
+// Clock is an exported simulation type used by the fixture's methods.
+type Clock struct{ now float64 }
+
+// Elapsed returns a wall-clock duration from a simulation API.
+func Elapsed(a, b float64) time.Duration { // caught: result leaks time.Duration
+	return time.Duration(b-a) * time.Second
+}
+
+// SetDeadline accepts a wall-clock timestamp on a simulation API.
+func (c *Clock) SetDeadline(t time.Time) {} // caught: param leaks time.Time
+
+// Timeouts hides the leak one level down, inside a slice.
+func Timeouts(ds []time.Duration) {} // caught: element type leaks time.Duration
+
+// Bridge converts to wall-clock types at an explicitly sanctioned
+// boundary (e.g. feeding a real HTTP server timeout).
+//
+//rnavet:allow vtimeleak — fixture: sanctioned bridge to real-time APIs
+func Bridge(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Advance uses plain numbers; nothing leaks.
+func (c *Clock) Advance(d float64) { c.now += d }
+
+// helper is unexported, so wall-clock types are its own business.
+func helper(d time.Duration) float64 { return d.Seconds() }

@@ -1,0 +1,29 @@
+// Package wallclock is a golden fixture for the wallclock check.
+//
+//rnavet:simulation
+package wallclock
+
+import "time"
+
+// Tick reads the wall clock three ways; every read is a violation in
+// a simulation package.
+func Tick() float64 {
+	start := time.Now()           // caught
+	time.Sleep(time.Millisecond)  // caught
+	return time.Since(start).Seconds() // caught
+}
+
+// Calibrate measures real elapsed time on purpose; the directive on
+// the line above the call suppresses the diagnostic.
+func Calibrate() time.Time {
+	//rnavet:allow wallclock — calibration measures real elapsed time by design
+	return time.Now()
+}
+
+// Deadline uses a trailing directive on the offending line itself.
+func Deadline() <-chan time.Time {
+	return time.After(time.Second) //rnavet:allow wallclock — fixture exercises trailing-comment suppression
+}
+
+// virtualNow is fine: no wall-clock reference.
+func virtualNow(now float64) float64 { return now + 1 }

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VTimeLeakCheck reports exported functions and methods in simulation
+// packages whose signatures traffic in time.Time or time.Duration.
+// Simulated quantities must use vclock.Time/vclock.Duration: a
+// wall-clock type on an exported boundary invites callers to plug
+// real clock readings into the virtual-time model, which silently
+// decouples reported TTC/cost from the controlled clock the paper's
+// evaluation methodology depends on.
+type VTimeLeakCheck struct{}
+
+// Name implements Check.
+func (*VTimeLeakCheck) Name() string { return "vtimeleak" }
+
+// Doc implements Check.
+func (*VTimeLeakCheck) Doc() string {
+	return "exported simulation APIs must use vclock types, not time.Time/time.Duration"
+}
+
+// Run implements Check.
+func (*VTimeLeakCheck) Run(p *Pass) {
+	if !p.Pkg.Simulation {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			if leak := wallclockTypeIn(sig); leak != "" {
+				kind := "function"
+				if sig.Recv() != nil {
+					kind = "method"
+				}
+				p.Reportf(fd.Name.Pos(),
+					"exported %s %s leaks wall-clock type %s across a simulation API; use vclock.Time/vclock.Duration",
+					kind, fd.Name.Name, leak)
+			}
+		}
+	}
+}
+
+// wallclockTypeIn returns the qualified name of the first
+// time.Time/time.Duration found in the signature's parameters or
+// results, or "".
+func wallclockTypeIn(sig *types.Signature) string {
+	seen := make(map[types.Type]bool)
+	for _, tuple := range []*types.Tuple{sig.Params(), sig.Results()} {
+		for i := 0; i < tuple.Len(); i++ {
+			if leak := findWallclockType(tuple.At(i).Type(), seen); leak != "" {
+				return leak
+			}
+		}
+	}
+	return ""
+}
+
+// findWallclockType walks a type's structure looking for the time
+// package's Time or Duration.
+func findWallclockType(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "time" && (obj.Name() == "Time" || obj.Name() == "Duration") {
+			return "time." + obj.Name()
+		}
+		// Do not descend into foreign named types' underlying
+		// structure: a struct parameter that itself embeds a
+		// time.Time is that type's own vtimeleak, reported where the
+		// type is declared.
+		return ""
+	case *types.Pointer:
+		return findWallclockType(t.Elem(), seen)
+	case *types.Slice:
+		return findWallclockType(t.Elem(), seen)
+	case *types.Array:
+		return findWallclockType(t.Elem(), seen)
+	case *types.Map:
+		if leak := findWallclockType(t.Key(), seen); leak != "" {
+			return leak
+		}
+		return findWallclockType(t.Elem(), seen)
+	case *types.Chan:
+		return findWallclockType(t.Elem(), seen)
+	case *types.Signature:
+		for _, tuple := range []*types.Tuple{t.Params(), t.Results()} {
+			for i := 0; i < tuple.Len(); i++ {
+				if leak := findWallclockType(tuple.At(i).Type(), seen); leak != "" {
+					return leak
+				}
+			}
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if leak := findWallclockType(t.Field(i).Type(), seen); leak != "" {
+				return leak
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallclockBanned lists the package time functions that read or wait
+// on the wall clock. Simulation packages must derive every timestamp
+// and delay from internal/vclock; a single stray time.Now silently
+// breaks byte-identical replay, because two runs of the same seed
+// would diverge in their reported timings.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// WallclockCheck reports wall-clock reads in simulation packages.
+type WallclockCheck struct{}
+
+// Name implements Check.
+func (*WallclockCheck) Name() string { return "wallclock" }
+
+// Doc implements Check.
+func (*WallclockCheck) Doc() string {
+	return "simulation packages must not read the wall clock; use internal/vclock"
+}
+
+// Run implements Check. It walks the syntax for selector references
+// (rather than ranging the type-checker's Uses map, whose iteration
+// order is itself nondeterministic) and resolves each through the
+// type info.
+func (*WallclockCheck) Run(p *Pass) {
+	if !p.Pkg.Simulation {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if wallclockBanned[obj.Name()] {
+				p.Reportf(sel.Pos(), "call to time.%s in simulation package; virtual time must come from internal/vclock", obj.Name())
+			}
+			return true
+		})
+	}
+}

@@ -243,7 +243,7 @@ func Generate(p Profile) (*Dataset, error) {
 	if p.Paired && p.InsertSize <= p.ReadLen {
 		return nil, fmt.Errorf("simdata: insert size %d must exceed read length %d", p.InsertSize, p.ReadLen)
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := rand.New(rand.NewSource(p.Seed)) //rnavet:allow globalrand — profile-seeded source; generation is deterministic per Profile.Seed
 	ds := &Dataset{Profile: p}
 	ds.Genome = randomGenome(rng, p.GenomeSize)
 	var err error
@@ -473,7 +473,7 @@ func (d *Dataset) Resample(expr []float64, seed int64) (seq.ReadSet, error) {
 	if len(expr) != len(d.Transcripts) {
 		return seq.ReadSet{}, fmt.Errorf("simdata: %d expressions for %d transcripts", len(expr), len(d.Transcripts))
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(seed)) //rnavet:allow globalrand — caller-supplied seed; resampling is deterministic per seed
 	return simulateReads(rng, d.Transcripts, expr, d.Profile), nil
 }
 
