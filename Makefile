@@ -10,17 +10,19 @@ COVER_SPECS = internal/cloud:80 internal/pilot:80 internal/core:75
 FUZZ_TARGETS = FuzzParseFasta FuzzParseFastq FuzzParseSFA
 FUZZ_TIME ?= 10s
 
-.PHONY: all build test vet lint race cover fuzz-smoke sweep-determinism journal-determinism check bench clean
+.PHONY: all build test vet lint race cover fuzz-smoke sweep-determinism journal-determinism check bench bench-gate bench-baseline clean
 
 # Coverage profiles land here instead of littering the repo root.
 BUILD_DIR = build
 
 all: build
 
-# build compiles everything, then asserts that the rnavet analyzer
-# itself stays stdlib-only (its only non-standard deps are module
-# packages, and nothing under net/): the determinism gate must keep
-# running on the offline single-CPU machine with just the toolchain.
+# build compiles everything, then asserts two dependency contracts:
+# the rnavet analyzer stays stdlib-only with no network imports (the
+# determinism gate must keep running on the offline single-CPU machine
+# with just the toolchain), and the perf probe package stays
+# stdlib-only (it is imported by every hot kernel, so a dependency
+# added there is a dependency added everywhere).
 build:
 	$(GO) build ./...
 	@nonstd=$$($(GO) list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' ./cmd/rnavet | grep -v '^rnascale' || true); \
@@ -28,6 +30,11 @@ build:
 	if [ -n "$$nonstd$$netdeps" ]; then \
 		echo "FAIL: cmd/rnavet must stay stdlib-only with no network imports:"; \
 		echo "$$nonstd $$netdeps"; exit 1; \
+	fi
+	@perfdeps=$$($(GO) list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' ./internal/obs/perf | grep -v '^rnascale/internal/obs/perf$$' || true); \
+	if [ -n "$$perfdeps" ]; then \
+		echo "FAIL: internal/obs/perf must stay stdlib-only (it is linked into every kernel):"; \
+		echo "$$perfdeps"; exit 1; \
 	fi
 
 test:
@@ -86,14 +93,34 @@ journal-determinism:
 # check is the gate a change must pass before review: static analysis
 # (go vet plus the rnavet determinism analyzer), the full test suite
 # under the race detector, the coverage floors, the sweep determinism
-# contract, the journal resume contract and a fuzz smoke pass.
-check: vet lint race cover sweep-determinism journal-determinism fuzz-smoke
+# contract, the journal resume contract, a fuzz smoke pass and the
+# kernel benchmark regression gate.
+check: vet lint race cover sweep-determinism journal-determinism fuzz-smoke bench-gate
 
 # bench regenerates the paper tables at quick scale and refreshes
 # BENCH_results.json (per-stage TTC/cost snapshots, plus the pass's
 # wall-clock seconds and worker count for throughput tracking).
 bench:
 	$(GO) run ./cmd/benchtab -experiment all
+
+# bench-gate measures the hot kernels (fixed-seed microbenchmarks in
+# internal/kernelbench) and fails if any regressed beyond tolerance
+# against the committed BENCH_baseline.json. Tolerances are loose on
+# wall time (machines are noisy) and tight on allocation counts
+# (deterministic for a fixed toolchain); override per-column with e.g.
+# BENCH_GATE_FLAGS='-tol-time 1.0'. Improvements never fail — lock
+# them in with bench-baseline.
+bench-gate:
+	@mkdir -p $(BUILD_DIR)
+	$(GO) run ./cmd/benchtab -kernels -json $(BUILD_DIR)/BENCH_results.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -current $(BUILD_DIR)/BENCH_results.json $(BENCH_GATE_FLAGS)
+
+# bench-baseline re-measures the kernels and rewrites the committed
+# baseline. Run on a quiet machine after a deliberate performance
+# change, and commit the result.
+bench-baseline:
+	$(GO) run ./cmd/benchtab -kernels -json BENCH_baseline.json
+	@echo "BENCH_baseline.json rewritten; review and commit it."
 
 clean:
 	rm -rf $(BUILD_DIR)

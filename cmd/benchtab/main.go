@@ -20,6 +20,14 @@
 // quick pipeline runs and writes their observability snapshots
 // (per-stage TTC and cost) to -json (default BENCH_results.json), so
 // the performance trajectory is machine-comparable across revisions.
+//
+// -kernels switches to the per-kernel microbenchmark mode: instead of
+// experiment tables it runs internal/kernelbench's fixed-seed kernels
+// (k-mer counting, DBG build, FASTX parsing, slot scheduling, MPI
+// collectives, journal appends) and writes their
+// {nsPerOp, allocsPerOp, bytesPerOp} plus an environment block into
+// the kernels section of -json. `make bench-gate` compares that
+// document against the committed BENCH_baseline.json.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 
 	"rnascale/internal/core"
 	"rnascale/internal/experiments"
+	"rnascale/internal/kernelbench"
 	"rnascale/internal/obs"
 	"rnascale/internal/simdata"
 	"rnascale/internal/sweep"
@@ -43,9 +52,18 @@ func main() {
 		scale    = flag.String("scale", "quick", "dataset scale: quick or full")
 		workers  = flag.Int("workers", 0, "sweep workers for experiment grids (<1 uses GOMAXPROCS)")
 		jsonPath = flag.String("json", "BENCH_results.json", "write machine-readable stage TTC/cost snapshots here (empty disables)")
+		kernels  = flag.Bool("kernels", false, "run per-kernel microbenchmarks instead of experiments; record them in -json")
 	)
 	flag.Parse()
 	experiments.Workers = *workers
+
+	if *kernels {
+		if err := runKernels(*jsonPath, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sc := experiments.Quick
 	if strings.ToLower(*scale) == "full" {
@@ -117,6 +135,11 @@ func main() {
 	}
 }
 
+// benchSchema identifies the BENCH_results.json format. v2 added the
+// env and kernels sections and changed workers from the raw flag
+// value to the resolved worker count.
+const benchSchema = "rnascale.bench-results/v2"
+
 // benchRun is one canonical configuration tracked across revisions.
 type benchRun struct {
 	Name     string           `json:"name"`
@@ -124,14 +147,48 @@ type benchRun struct {
 }
 
 // benchResults is the BENCH_results.json document. WallClockSeconds
-// is the real elapsed time of the experiment pass that preceded the
-// canonical runs (virtual TTCs live in the snapshots), recorded with
-// the worker count so throughput is comparable across revisions.
+// is the real elapsed time of the pass (virtual TTCs live in the
+// snapshots), and Workers is the resolved sweep worker count — not
+// the raw flag, which is 0 for "use GOMAXPROCS" — so throughput is
+// comparable across revisions. Runs is populated in experiment mode,
+// Kernels in -kernels mode; Env is recorded in both.
 type benchResults struct {
-	Schema           string     `json:"schema"`
-	Workers          int        `json:"workers"`
-	WallClockSeconds float64    `json:"wallClockSeconds"`
-	Runs             []benchRun `json:"runs"`
+	Schema           string               `json:"schema"`
+	Workers          int                  `json:"workers"`
+	WallClockSeconds float64              `json:"wallClockSeconds"`
+	Runs             []benchRun           `json:"runs,omitempty"`
+	Env              *kernelbench.Env     `json:"env,omitempty"`
+	Kernels          []kernelbench.Result `json:"kernels,omitempty"`
+}
+
+// runKernels is the -kernels mode: measure every registered kernel at
+// its fixed seed and iteration count (probes disabled, so the numbers
+// exclude probe overhead) and write the results with the environment
+// block that makes them comparable.
+func runKernels(path string, workers int) error {
+	start := time.Now() //rnavet:allow wallclock — kernel benchmarks measure real elapsed time by definition
+	results := kernelbench.RunAll()
+	fmt.Printf("%-22s %12s %12s %14s\n", "kernel", "ns/op", "allocs/op", "bytes/op")
+	for _, r := range results {
+		fmt.Printf("%-22s %12.0f %12.1f %14.1f\n", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if path == "" {
+		return nil
+	}
+	env := kernelbench.CaptureEnv(sweep.ResolveWorkers(workers))
+	doc := benchResults{
+		Schema:  benchSchema,
+		Workers: env.Workers,
+		//rnavet:allow wallclock — wall-clock seconds are the quantity BENCH_results.json exists to record
+		WallClockSeconds: time.Since(start).Seconds(),
+		Env:              &env,
+		Kernels:          results,
+	}
+	if err := writeJSON(path, doc); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeBenchResults executes the canonical quick runs on the sweep
@@ -168,12 +225,18 @@ func writeBenchResults(path string, workers int, wallSeconds float64) error {
 	if err != nil {
 		return err
 	}
+	env := kernelbench.CaptureEnv(sweep.ResolveWorkers(workers))
 	doc := benchResults{
-		Schema:           "rnascale.bench-results/v1",
-		Workers:          workers,
+		Schema:           benchSchema,
+		Workers:          env.Workers,
 		WallClockSeconds: wallSeconds,
 		Runs:             runs,
+		Env:              &env,
 	}
+	return writeJSON(path, doc)
+}
+
+func writeJSON(path string, doc any) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -12,12 +12,20 @@
 //	     -d '{"profile":"tiny","assemblers":["ray","abyss","contrail"],"contrailNodes":2,"evaluate":true}'
 //	curl -s localhost:8080/api/runs/run-00001
 //	curl -s localhost:8080/api/runs/run-00001/transcripts
+//
+// -debug-addr mounts net/http/pprof on a second, operator-only
+// listener (keep it off public interfaces):
+//
+//	gateway -addr :8080 -debug-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//	curl -s localhost:6060/debug/pprof/goroutine?debug=2
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // mounts /debug/pprof on the -debug-addr listener
 
 	"rnascale/internal/gateway"
 )
@@ -30,6 +38,8 @@ func main() {
 			"max submissions waiting for a worker before POSTs get 429")
 		journalDir = flag.String("journal-dir", "",
 			"persist the run table and per-run journals here; a restart re-adopts in-flight runs")
+		debugAddr = flag.String("debug-addr", "",
+			"serve net/http/pprof here (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	srv := gateway.NewServer(*concurrency)
@@ -38,6 +48,15 @@ func main() {
 		if err := srv.EnableJournal(*journalDir); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *debugAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux; the API
+		// runs on its own mux, so the profiles are reachable only
+		// through this listener.
+		go func() {
+			log.Printf("rnascale gateway pprof on %s/debug/pprof/", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, nil))
+		}()
 	}
 	log.Printf("rnascale gateway listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rnascale/internal/obs/perf"
 	"rnascale/internal/seq"
 )
 
@@ -64,6 +65,7 @@ func (g *Graph) Coverage(canonical seq.Kmer) uint32 { return g.nodes[canonical] 
 // Build constructs a graph from reads and drops k-mers below
 // minCount (sequencing-error removal).
 func Build(reads []seq.Read, k, minCount int) (*Graph, error) {
+	defer perf.Region("dbg.build").End()
 	g, err := New(k)
 	if err != nil {
 		return nil, err
@@ -126,6 +128,7 @@ type Unitig struct {
 // Unitigs extracts every maximal non-branching path at least minLen
 // bases long, in deterministic order.
 func (g *Graph) Unitigs(minLen int) []Unitig {
+	defer perf.Region("dbg.unitigs").End()
 	visited := make(map[seq.Kmer]bool, len(g.nodes))
 	// Deterministic iteration: sort the canonical k-mers.
 	order := make([]seq.Kmer, 0, len(g.nodes))
@@ -213,6 +216,7 @@ func (g *Graph) walk(start seq.Kmer, visited map[seq.Kmer]bool) Unitig {
 // the number of k-mers removed and iterates to a fixed point (bounded
 // by rounds).
 func (g *Graph) ClipTips(maxKmers, rounds int) int {
+	defer perf.Region("dbg.cliptips").End()
 	removedTotal := 0
 	for r := 0; r < rounds; r++ {
 		removed := g.clipOnce(maxKmers)
@@ -287,6 +291,7 @@ func (g *Graph) clipOnce(maxKmers int) int {
 // (divergence at one branch node, reconvergence within maxArm k-mers).
 // It returns the number of k-mers removed.
 func (g *Graph) PopBubbles(maxArm int) int {
+	defer perf.Region("dbg.popbubbles").End()
 	order := make([]seq.Kmer, 0, len(g.nodes))
 	for km := range g.nodes {
 		order = append(order, km)

@@ -42,6 +42,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"rnascale/internal/assembler"
 	_ "rnascale/internal/assembler/all" // make every assembler submittable
@@ -67,12 +68,24 @@ const (
 	MetricRunTTC = "rnascale_gateway_run_ttc_seconds"
 	// MetricRunCost is a histogram of finished-run cloud bills.
 	MetricRunCost = "rnascale_gateway_run_cost_usd"
+	// MetricRunsQueueWait is a histogram of real seconds a run spent
+	// between enqueue and a worker picking it up. Unlike TTC and cost
+	// (virtual quantities of the simulated run), queue wait is wall
+	// time the submitting user actually experiences, and is the signal
+	// that says "add workers" when the bounded queue backs up.
+	MetricRunsQueueWait = "rnascale_gateway_runs_queue_wait_seconds"
 )
 
 // costBuckets spans the USD range of the paper's experiments, from
 // sub-dollar tiny runs to full-scale multi-hundred-dollar bills.
 func costBuckets() []float64 {
 	return []float64{0.1, 0.5, 1, 5, 20, 100, 500}
+}
+
+// queueWaitBuckets spans instant pickup (idle worker) through a queue
+// backed up behind minutes of simulated pipelines.
+func queueWaitBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2, 10, 60}
 }
 
 // DefaultMaxQueued is the submission queue bound when the operator
@@ -154,6 +167,11 @@ type run struct {
 	ds          *simdata.Dataset
 	journalPath string
 	resumeFrom  string
+	// enqueuedAt is the wall-clock instant the run (re-)entered the
+	// queue; the queue-wait histogram observes the gap to worker
+	// pickup. Wall clock, not vclock: queue wait happens outside any
+	// simulated run and is real time the submitter experiences.
+	enqueuedAt time.Time
 }
 
 // Server is the gateway. Create with NewServer and mount via Handler.
@@ -244,6 +262,21 @@ func (s *Server) worker() {
 
 // Metrics exposes the server-level registry.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// runsInflight moves the queued-or-running gauge by delta. Every
+// transition site (submit, batch, re-adoption, resume, settle) goes
+// through here so the metric's name and help stay single-sourced and
+// the balance is auditable in one place.
+func (s *Server) runsInflight(delta int) {
+	s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(float64(delta))
+}
+
+// queueClock reads the wall clock for queue-wait accounting. This is
+// the only wall-clock read in the package: everything inside a run is
+// virtual time, but time spent waiting for a worker is real time.
+func queueClock() time.Time {
+	return time.Now() //rnavet:allow wallclock — queue wait is real time the submitter experiences, outside any simulated run
+}
 
 // Handler returns the HTTP handler for the API.
 func (s *Server) Handler() http.Handler {
@@ -499,7 +532,7 @@ func (s *Server) submit(req RunRequest) (RunView, error) {
 	s.nextID++
 	id := fmt.Sprintf("run-%05d", s.nextID)
 	view := RunView{ID: id, Status: StatusQueued, Request: req}
-	rn := &run{view: view, obs: cfg.Obs, cfg: cfg, ds: ds}
+	rn := &run{view: view, obs: cfg.Obs, cfg: cfg, ds: ds, enqueuedAt: queueClock()}
 	if s.journalDir != "" {
 		rn.journalPath = filepath.Join(s.journalDir, id+".journal")
 	}
@@ -509,7 +542,7 @@ func (s *Server) submit(req RunRequest) (RunView, error) {
 	s.runsWG.Add(1)
 	s.logEventLocked(id)
 	s.mu.Unlock()
-	s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(1)
+	s.runsInflight(1)
 	s.cond.Signal()
 	// Return the pre-enqueue snapshot: a worker may already be
 	// mutating rn.view under the lock.
@@ -567,8 +600,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.nextID++
 		ids[i] = fmt.Sprintf("run-%05d", s.nextID)
 		rn := &run{
-			view: RunView{ID: ids[i], Status: StatusQueued, Request: req.Runs[i]},
-			obs:  cfgs[i].Obs,
+			view:       RunView{ID: ids[i], Status: StatusQueued, Request: req.Runs[i]},
+			obs:        cfgs[i].Obs,
+			enqueuedAt: queueClock(),
 		}
 		if s.journalDir != "" {
 			rn.journalPath = filepath.Join(s.journalDir, ids[i]+".journal")
@@ -580,7 +614,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.logEventLocked(ids[i])
 	}
 	s.mu.Unlock()
-	s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(float64(len(ids)))
+	s.runsInflight(len(ids))
 	views, err := sweep.Map(len(ids), func(i int) (RunView, error) {
 		s.setStatus(ids[i], StatusRunning, nil, "")
 		rep, runErr := executeRun(cfgs[i], dss[i], paths[i], "")
@@ -612,14 +646,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, views)
 }
 
-// setStatus updates a run's view under the lock. Terminal statuses
-// settle the run's accounting: the status counter, the inflight
-// gauge, the aggregate TTC/cost histograms and the Wait group.
+// setStatus updates a run's view under the lock. The queued→running
+// transition observes the run's queue wait; terminal statuses settle
+// the run's accounting: the status counter, the inflight gauge, the
+// aggregate TTC/cost histograms and the Wait group.
 func (s *Server) setStatus(id string, status RunStatus, rep *core.Report, errMsg string) {
+	if status == StatusRunning {
+		s.mu.Lock()
+		enqueuedAt := s.runs[id].enqueuedAt
+		s.mu.Unlock()
+		if !enqueuedAt.IsZero() {
+			s.metrics.Histogram(MetricRunsQueueWait,
+				"Real seconds from enqueue to worker pickup.", queueWaitBuckets(), nil).
+				Observe(queueClock().Sub(enqueuedAt).Seconds())
+		}
+	}
 	if status == StatusDone || status == StatusFailed {
 		s.metrics.Counter(MetricRuns, "Gateway runs by terminal status.",
 			obs.Labels{"status": string(status)}).Inc()
-		s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(-1)
+		s.runsInflight(-1)
 		defer s.runsWG.Done()
 	}
 	if rep != nil && status == StatusDone {

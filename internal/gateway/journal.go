@@ -105,6 +105,7 @@ func (s *Server) EnableJournal(dir string) error {
 		}
 		rn.view.Status = StatusQueued
 		rn.view.Error = ""
+		rn.enqueuedAt = queueClock()
 		s.queue = append(s.queue, id)
 		s.runsWG.Add(1)
 		adopted++
@@ -113,7 +114,7 @@ func (s *Server) EnableJournal(dir string) error {
 	s.mu.Unlock()
 
 	if adopted > 0 {
-		s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(float64(adopted))
+		s.runsInflight(adopted)
 	}
 	if resumed > 0 {
 		s.metrics.Counter(obs.MetricRunsResumed,
@@ -241,13 +242,14 @@ func (s *Server) handleResume(w http.ResponseWriter, id string) {
 	rn.resumeFrom = rn.journalPath
 	rn.view.Status = StatusQueued
 	rn.view.Error = ""
+	rn.enqueuedAt = queueClock()
 	s.queue = append(s.queue, id)
 	s.runsWG.Add(1)
 	s.logEventLocked(id)
 	view := rn.view
 	s.mu.Unlock()
 
-	s.metrics.Gauge(MetricRunsInflight, "Gateway runs queued or running.", nil).Add(1)
+	s.runsInflight(1)
 	s.metrics.Counter(obs.MetricRunsResumed,
 		"Runs re-adopted from a surviving pipeline journal after gateway loss.", nil).Inc()
 	s.cond.Signal()

@@ -33,9 +33,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		`rnascale_gateway_run_ttc_seconds_count 1`,
 		`rnascale_gateway_run_ttc_seconds_sum `,
 		`rnascale_gateway_run_cost_usd_count 1`,
+		`rnascale_gateway_runs_queue_wait_seconds_count 1`,
 		"# TYPE rnascale_gateway_runs_total counter",
 		"# TYPE rnascale_gateway_run_ttc_seconds histogram",
 		"# TYPE rnascale_gateway_run_cost_usd histogram",
+		"# TYPE rnascale_gateway_runs_queue_wait_seconds histogram",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q:\n%s", want, text)
@@ -75,6 +77,46 @@ func TestMetricCardinalityConstant(t *testing.T) {
 	s.Wait()
 	if after := scrapeLines(); after != base {
 		t.Errorf("exposition grew from %d to %d lines over repeated runs", base, after)
+	}
+}
+
+// TestQueueWaitObservedPerRun: every run contributes exactly one
+// queue-wait observation, whether it entered through the async queue
+// or the synchronous batch path — and the waits are non-negative real
+// seconds, not virtual time.
+func TestQueueWaitObservedPerRun(t *testing.T) {
+	s, ts := newTestServer(t)
+	submitRun(t, ts, RunRequest{Profile: "tiny", Assemblers: []string{"velvet"}})
+	submitRun(t, ts, RunRequest{Profile: "tiny", Assemblers: []string{"velvet"}})
+	resp, err := http.Post(ts.URL+"/api/batch", "application/json",
+		strings.NewReader(`{"runs":[{"profile":"tiny","assemblers":["velvet"]},{"profile":"tiny","assemblers":["velvet"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	s.Wait()
+
+	var count, sum float64
+	var found bool
+	for _, p := range s.Metrics().Points() {
+		switch p.Name {
+		case MetricRunsQueueWait + "_count":
+			count, found = p.Value, true
+		case MetricRunsQueueWait + "_sum":
+			sum = p.Value
+		}
+	}
+	if !found {
+		t.Fatal("no queue-wait histogram in the registry")
+	}
+	if count != 4 {
+		t.Errorf("queue-wait count = %v, want 4", count)
+	}
+	if sum < 0 {
+		t.Errorf("queue-wait sum = %v, want >= 0", sum)
 	}
 }
 

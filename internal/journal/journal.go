@@ -25,6 +25,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"rnascale/internal/obs/perf"
 )
 
 // Schema identifies the journal line format.
@@ -106,6 +108,7 @@ func Continue(path string) (*Log, *Writer, error) {
 // Append stamps the record's sequence number, writes it as one JSON
 // line and flushes it. The stamped record is returned.
 func (w *Writer) Append(rec Record) (Record, error) {
+	defer perf.Region("journal.append").End()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	rec.Seq = w.seq

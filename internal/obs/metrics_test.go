@@ -85,6 +85,107 @@ func TestHistogram(t *testing.T) {
 	r.Histogram("bad", "", []float64{5, 5}, nil)
 }
 
+// TestHistogramZeroObservations: a registered-but-never-observed
+// histogram still renders its full bucket ladder (all zero), so a
+// scraper sees the series exist before the first event — the state
+// the gateway's queue-wait histogram is in between boot and the
+// first run.
+func TestHistogramZeroObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("idle", "", []float64{1, 10}, nil)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("fresh histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`idle_bucket{le="1"} 0`,
+		`idle_bucket{le="10"} 0`,
+		`idle_bucket{le="+Inf"} 0`,
+		"idle_sum 0",
+		"idle_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zero-observation exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramNoBounds: nil bounds are legal (the TTC histogram uses
+// them) and collapse to a single +Inf bucket that still satisfies the
+// histogram contract: bucket == count, sum tracked.
+func TestHistogramNoBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("free", "", nil, nil)
+	h.Observe(3)
+	h.Observe(4.5)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`free_bucket{le="+Inf"} 2`,
+		"free_sum 7.5",
+		"free_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("boundless exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBoundaryAndOverflow: a value exactly on a bound lands
+// in that bucket (le is inclusive), and values above every bound land
+// only in +Inf.
+func TestHistogramBoundaryAndOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge", "", []float64{1, 10}, nil)
+	h.Observe(1)    // exactly on the first bound
+	h.Observe(10)   // exactly on the last bound
+	h.Observe(1e9)  // above every bound
+	h.Observe(-0.5) // below every bound still lands in the first bucket
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`edge_bucket{le="1"} 2`,
+		`edge_bucket{le="10"} 3`,
+		`edge_bucket{le="+Inf"} 4`,
+		"edge_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("boundary exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBadBounds: unsorted and duplicate bounds are
+// programming errors, caught at registration rather than rendering
+// garbage cumulative counts.
+func TestHistogramBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{
+		{10, 1},     // descending
+		{1, 5, 3},   // out of order past the front
+		{5, 5},       // duplicate
+		{1, 2, 2, 3}, // duplicate mid-ladder
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v did not panic", bounds)
+				}
+			}()
+			NewRegistry().Histogram("bad", "", bounds, nil)
+		}()
+	}
+}
+
 func TestPrometheusExposition(t *testing.T) {
 	r := NewRegistry()
 	// Register in scrambled order; exposition must sort.

@@ -1,0 +1,271 @@
+// Package perf provides wall-clock performance probes for the hot
+// simulation kernels: k-mer counting and DBG construction, FASTA/
+// FASTQ parsing, the vclock slot scheduler, MPI collective rendezvous
+// and journal appends.
+//
+// Probes are compiled in everywhere but DISABLED by default. The
+// repository's determinism contract (see DESIGN.md "Static analysis &
+// determinism lint") forbids wall-clock reads in simulation packages
+// because reported TTC/cost must come from internal/vclock; this
+// package is the one sanctioned home for real-time measurement, and
+// it keeps the contract two ways:
+//
+//   - Disabled probes never read the clock. Region returns the zero
+//     Span after a single atomic load, and End on a zero Span is a
+//     nil-check — no timestamps, no allocation, no effect on any
+//     golden render.
+//   - Every wall-clock read in this file carries an auditable
+//     //rnavet:allow wallclock directive, and the package opts itself
+//     into rnavet's wallclock check with the //rnavet:simulation
+//     directive so a future unannotated read is a lint failure, not a
+//     silent hole.
+//
+// Alongside elapsed nanoseconds a Span records heap-allocation deltas
+// (object count and bytes) from runtime.ReadMemStats. Deltas are
+// process-global: attribute them to a region only when nothing else
+// allocates concurrently (single-goroutine kernels, microbenchmarks).
+//
+// Usage, at a kernel entry point:
+//
+//	defer perf.Region("dbg.build").End()
+//
+// and, in a measurement harness (cmd/benchtab -kernels):
+//
+//	perf.Enable()
+//	... run the kernel ...
+//	perf.Report(os.Stdout)
+package perf
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+//rnavet:simulation
+
+// enabled gates every probe. Manipulate with Enable/Disable; the
+// default is off so production pipeline runs pay one atomic load per
+// region and nothing else.
+var enabled atomic.Bool
+
+// Enable turns probes on process-wide.
+func Enable() { enabled.Store(true) }
+
+// Disable turns probes off process-wide. Regions begun while enabled
+// still record on End.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether probes are currently recording.
+func Enabled() bool { return enabled.Load() }
+
+// probe is the accumulator behind one region name.
+type probe struct {
+	name   string
+	mu     sync.Mutex
+	count  uint64
+	ns     int64
+	allocs uint64
+	bytes  uint64
+}
+
+// registry maps region names to their accumulators. Lookups on the
+// hot path take the read lock; the write lock is only held the first
+// time a name is seen.
+var registry struct {
+	mu     sync.RWMutex
+	probes map[string]*probe
+}
+
+func lookup(name string) *probe {
+	registry.mu.RLock()
+	p := registry.probes[name]
+	registry.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.probes == nil {
+		registry.probes = make(map[string]*probe)
+	}
+	if p = registry.probes[name]; p == nil {
+		p = &probe{name: name}
+		registry.probes[name] = p
+	}
+	return p
+}
+
+// readAllocs reads the cumulative heap-allocation counters via
+// runtime.ReadMemStats. The runtime/metrics package would be cheaper
+// (no stop-the-world) but its allocation counters aggregate per-P
+// caches lazily and under-report small deltas; ReadMemStats flushes
+// them, which is what makes allocsPerOp deterministic enough for the
+// bench gate to hold to a tight tolerance. The MemStats value lives
+// on the stack, so reading costs no heap allocation of its own.
+func readAllocs() (objects, bytes uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs, ms.TotalAlloc
+}
+
+// Span is one in-flight region measurement. The zero Span (returned
+// by Region while probes are disabled) is inert: End on it does
+// nothing. Span is a value type so the
+//
+//	defer perf.Region("name").End()
+//
+// idiom allocates nothing.
+type Span struct {
+	p       *probe
+	start   time.Time
+	objects uint64
+	bytes   uint64
+}
+
+// Region begins a measurement of the named region. While probes are
+// disabled it returns the zero Span after one atomic load.
+func Region(name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	p := lookup(name)
+	objects, bytes := readAllocs()
+	//rnavet:allow wallclock — probes measure real elapsed time by design; off by default, never feeds virtual time
+	return Span{p: p, start: time.Now(), objects: objects, bytes: bytes}
+}
+
+// End finishes the measurement and folds it into the region's
+// accumulator. End on a zero Span (disabled probes) is a no-op.
+func (s Span) End() {
+	if s.p == nil {
+		return
+	}
+	//rnavet:allow wallclock — closing a probe span reads the same real clock Region opened it with
+	elapsed := time.Since(s.start)
+	objects, bytes := readAllocs()
+	s.p.mu.Lock()
+	s.p.count++
+	s.p.ns += elapsed.Nanoseconds()
+	s.p.allocs += objects - s.objects
+	s.p.bytes += bytes - s.bytes
+	s.p.mu.Unlock()
+}
+
+// Stat is one region's accumulated measurements.
+type Stat struct {
+	// Name is the region name passed to Region.
+	Name string `json:"name"`
+	// Count is the number of completed spans.
+	Count uint64 `json:"count"`
+	// TotalNs is the summed elapsed wall-clock nanoseconds.
+	TotalNs int64 `json:"totalNs"`
+	// Allocs is the summed heap-object allocation delta.
+	Allocs uint64 `json:"allocs"`
+	// Bytes is the summed heap-byte allocation delta.
+	Bytes uint64 `json:"bytes"`
+}
+
+// NsPerOp is TotalNs averaged over Count (0 for an unused probe).
+func (s Stat) NsPerOp() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.TotalNs) / float64(s.Count)
+}
+
+// Snapshot returns every region's accumulated stats, sorted by name
+// so output built from it is deterministic in structure.
+func Snapshot() []Stat {
+	registry.mu.RLock()
+	probes := make([]*probe, 0, len(registry.probes))
+	for _, p := range registry.probes {
+		probes = append(probes, p)
+	}
+	registry.mu.RUnlock()
+	sort.Slice(probes, func(a, b int) bool { return probes[a].name < probes[b].name })
+	out := make([]Stat, 0, len(probes))
+	for _, p := range probes {
+		p.mu.Lock()
+		out = append(out, Stat{Name: p.name, Count: p.count, TotalNs: p.ns, Allocs: p.allocs, Bytes: p.bytes})
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// Reset discards every accumulated measurement (but keeps probes
+// enabled or disabled as they were).
+func Reset() {
+	registry.mu.Lock()
+	registry.probes = nil
+	registry.mu.Unlock()
+}
+
+// Report renders the snapshot as an aligned table: one row per
+// region, with per-op averages. Regions that never fired are listed
+// with a zero count, so a report also documents which probes exist.
+func Report(w io.Writer) error {
+	stats := Snapshot()
+	if len(stats) == 0 {
+		_, err := fmt.Fprintln(w, "perf: no probes fired")
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%-28s %10s %14s %14s %14s\n", "region", "count", "ns/op", "allocs/op", "bytes/op")
+	if err != nil {
+		return err
+	}
+	for _, s := range stats {
+		var allocsPer, bytesPer float64
+		if s.Count > 0 {
+			allocsPer = float64(s.Allocs) / float64(s.Count)
+			bytesPer = float64(s.Bytes) / float64(s.Count)
+		}
+		if _, err := fmt.Fprintf(w, "%-28s %10d %14.0f %14.1f %14.1f\n",
+			s.Name, s.Count, s.NsPerOp(), allocsPer, bytesPer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Measurement is one microbenchmark result: per-operation averages
+// over a fixed iteration count. Times are wall-clock; allocation
+// counts are deterministic for a fixed-seed workload, which is what
+// lets the bench gate hold them to a tight tolerance.
+type Measurement struct {
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+}
+
+// Measure runs fn iters times (after one untimed warm-up call and a
+// GC to settle the heap) and reports per-op wall time and allocation
+// deltas. iters must be positive.
+func Measure(iters int, fn func()) Measurement {
+	if iters < 1 {
+		panic(fmt.Sprintf("perf: measure with %d iters", iters))
+	}
+	fn()
+	runtime.GC()
+	objects0, bytes0 := readAllocs()
+	//rnavet:allow wallclock — the microbenchmark harness exists to measure real elapsed time
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	//rnavet:allow wallclock — closing the measurement window opened above
+	elapsed := time.Since(start)
+	objects1, bytes1 := readAllocs()
+	n := float64(iters)
+	return Measurement{
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(objects1-objects0) / n,
+		BytesPerOp:  float64(bytes1-bytes0) / n,
+	}
+}

@@ -1,0 +1,194 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withProbes runs fn with probes enabled against a clean registry,
+// restoring the default-off state afterwards.
+func withProbes(t *testing.T, fn func()) {
+	t.Helper()
+	Reset()
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	fn()
+}
+
+// TestDisabledRegionIsInert pins the default-off contract: Region
+// returns the zero Span, End does nothing, and no stats accumulate.
+func TestDisabledRegionIsInert(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("probes enabled by default")
+	}
+	s := Region("test.region")
+	if s.p != nil {
+		t.Error("disabled Region returned a live span")
+	}
+	s.End() // must not panic or record
+	if stats := Snapshot(); len(stats) != 0 {
+		t.Errorf("disabled probes accumulated stats: %+v", stats)
+	}
+}
+
+// TestDisabledRegionAllocatesNothing pins the zero-overhead claim the
+// kernels rely on: the defer Region().End() idiom costs no heap
+// allocation while probes are off.
+func TestDisabledRegionAllocatesNothing(t *testing.T) {
+	Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		defer Region("test.off").End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled probe allocated %.1f objects per region", allocs)
+	}
+}
+
+// sink defeats dead-store elimination in allocation tests.
+var sink []byte
+
+func TestEnabledRegionRecords(t *testing.T) {
+	withProbes(t, func() {
+		for i := 0; i < 3; i++ {
+			sp := Region("test.work")
+			sink = make([]byte, 1024)
+			sp.End()
+		}
+		stats := Snapshot()
+		if len(stats) != 1 {
+			t.Fatalf("stats: %+v", stats)
+		}
+		s := stats[0]
+		if s.Name != "test.work" || s.Count != 3 {
+			t.Errorf("stat: %+v", s)
+		}
+		if s.TotalNs <= 0 {
+			t.Errorf("no elapsed time recorded: %+v", s)
+		}
+		if s.Bytes < 3*1024 {
+			t.Errorf("allocation bytes not captured: %+v", s)
+		}
+		if s.NsPerOp() <= 0 {
+			t.Errorf("NsPerOp: %v", s.NsPerOp())
+		}
+	})
+}
+
+// TestSnapshotSorted pins deterministic structure: regions come back
+// sorted by name however they were first fired.
+func TestSnapshotSorted(t *testing.T) {
+	withProbes(t, func() {
+		for _, name := range []string{"z.last", "a.first", "m.middle"} {
+			Region(name).End()
+		}
+		stats := Snapshot()
+		if len(stats) != 3 {
+			t.Fatalf("stats: %+v", stats)
+		}
+		for i, want := range []string{"a.first", "m.middle", "z.last"} {
+			if stats[i].Name != want {
+				t.Errorf("stats[%d] = %q, want %q", i, stats[i].Name, want)
+			}
+		}
+	})
+}
+
+func TestReset(t *testing.T) {
+	withProbes(t, func() {
+		Region("test.reset").End()
+		Reset()
+		if stats := Snapshot(); len(stats) != 0 {
+			t.Errorf("reset left stats: %+v", stats)
+		}
+	})
+}
+
+func TestReport(t *testing.T) {
+	withProbes(t, func() {
+		Region("test.report").End()
+		var b bytes.Buffer
+		if err := Report(&b); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		for _, want := range []string{"region", "ns/op", "allocs/op", "test.report"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("report missing %q:\n%s", want, out)
+			}
+		}
+	})
+	Reset()
+	var b bytes.Buffer
+	if err := Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no probes fired") {
+		t.Errorf("empty report: %q", b.String())
+	}
+}
+
+// TestConcurrentRegions exercises the registry under the race
+// detector: many goroutines firing the same and different regions.
+func TestConcurrentRegions(t *testing.T) {
+	withProbes(t, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					Region("test.shared").End()
+					if g%2 == 0 {
+						Region("test.even").End()
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		stats := Snapshot()
+		var shared, even uint64
+		for _, s := range stats {
+			switch s.Name {
+			case "test.shared":
+				shared = s.Count
+			case "test.even":
+				even = s.Count
+			}
+		}
+		if shared != 400 || even != 200 {
+			t.Errorf("counts: shared=%d even=%d (%+v)", shared, even, stats)
+		}
+	})
+}
+
+func TestMeasure(t *testing.T) {
+	m := Measure(10, func() {
+		sink = make([]byte, 4096)
+	})
+	if m.Iters != 10 {
+		t.Errorf("iters: %d", m.Iters)
+	}
+	if m.NsPerOp <= 0 {
+		t.Errorf("nsPerOp: %v", m.NsPerOp)
+	}
+	// One 4 KiB slice per op: allocs ≈ 1, bytes ≥ 4096.
+	if m.AllocsPerOp < 0.9 || m.AllocsPerOp > 2 {
+		t.Errorf("allocsPerOp: %v", m.AllocsPerOp)
+	}
+	if m.BytesPerOp < 4096 {
+		t.Errorf("bytesPerOp: %v", m.BytesPerOp)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Measure with 0 iters did not panic")
+		}
+	}()
+	Measure(0, func() {})
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"rnascale/internal/obs/perf"
 )
 
 // This file implements FASTA and FASTQ serialization. The pipeline's
@@ -58,6 +60,7 @@ func WriteFasta(w io.Writer, recs []FastaRecord, width int) error {
 // ParseFasta reads all records from r. Sequence lines are
 // concatenated; blank lines are ignored.
 func ParseFasta(r io.Reader) ([]FastaRecord, error) {
+	defer perf.Region("seq.parse_fasta").End()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var recs []FastaRecord
@@ -114,6 +117,7 @@ func WriteFastq(w io.Writer, reads []Read) error {
 
 // ParseFastq reads 4-line FASTQ records.
 func ParseFastq(r io.Reader) ([]Read, error) {
+	defer perf.Region("seq.parse_fastq").End()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var reads []Read

@@ -2,6 +2,8 @@ package seq
 
 import (
 	"fmt"
+
+	"rnascale/internal/obs/perf"
 )
 
 // MaxK is the largest supported k-mer size. Two uint64 words hold 2
@@ -214,6 +216,7 @@ func (c KmerCoder) ForEach(s []byte, fn func(pos int, km Kmer) bool) {
 // the reads. It is the driver of the memory-footprint model used for
 // Table IV.
 func (c KmerCoder) CountDistinct(reads []Read) int {
+	defer perf.Region("seq.count_distinct").End()
 	set := make(map[Kmer]struct{})
 	for i := range reads {
 		c.ForEach(reads[i].Seq, func(_ int, km Kmer) bool {

@@ -46,16 +46,24 @@ type Options struct {
 	OnProgress func(done, total int)
 }
 
-func (o Options) workers(n int) int {
-	w := o.Workers
-	if w < 1 {
-		w = runtime.GOMAXPROCS(0)
+// ResolveWorkers reports the effective worker count for a Workers
+// option value: values < 1 resolve to runtime.GOMAXPROCS(0), the
+// documented default. Callers that record "how parallel was this
+// pass" (benchtab's BENCH_results.json) must record this resolution,
+// not the raw flag value. A sweep additionally never runs more
+// workers than it has cells; that cap is per-call and intentionally
+// not part of this resolution.
+func ResolveWorkers(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
 	}
+	return workers
+}
+
+func (o Options) workers(n int) int {
+	w := ResolveWorkers(o.Workers)
 	if w > n {
 		w = n
-	}
-	if w < 1 {
-		w = 1
 	}
 	return w
 }
