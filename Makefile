@@ -3,8 +3,10 @@
 GO ?= go
 
 # Per-package coverage floors for the fault/recovery-critical
-# packages (current actuals are ~86-88%; floors leave headroom).
-COVER_SPECS = internal/cloud:80 internal/pilot:80 internal/core:75
+# packages (current actuals are ~85-92%; floors leave headroom).
+# cloud's floor rose with the spot/serverless backends: the market
+# walk, reclaim coupling and function billing must stay covered.
+COVER_SPECS = internal/cloud:85 internal/pilot:80 internal/core:80
 
 # Parser fuzz targets exercised by fuzz-smoke.
 FUZZ_TARGETS = FuzzParseFasta FuzzParseFastq FuzzParseSFA

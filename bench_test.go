@@ -140,6 +140,19 @@ func BenchmarkFig5SampleRun(b *testing.B) {
 	}
 }
 
+func BenchmarkBackendGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, s, err := experiments.BackendGrid(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) < 2 {
+			b.Fatalf("frontier has %d points", len(rows))
+		}
+		logOnce(b, i, s)
+	}
+}
+
 func BenchmarkAblationSchemes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s, err := experiments.AblationSchemes(experiments.Quick)

@@ -14,7 +14,12 @@
 // recorded in the -json document for trajectory tracking.
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3
-// fig4a fig4b fig5 ablations all
+// fig4a fig4b fig5 backends ablations all
+//
+// backends is beyond the paper's figures: it sweeps the per-stage
+// execution backend (on-demand / spot / serverless), prints the
+// planner's cost–TTC Pareto frontier and validates every frontier
+// point against the simulation.
 //
 // Alongside the printed tables, benchtab executes a canonical set of
 // quick pipeline runs and writes their observability snapshots
@@ -82,6 +87,10 @@ func main() {
 		"fig4a":  func() (string, error) { _, s, err := experiments.Fig4a(sc); return s, err },
 		"fig4b":  func() (string, error) { _, s, err := experiments.Fig4b(sc); return s, err },
 		"fig5":   func() (string, error) { _, s, err := experiments.Fig5(sc); return s, err },
+		"backends": func() (string, error) {
+			_, s, err := experiments.BackendGrid(sc)
+			return s, err
+		},
 		"ablations": func() (string, error) {
 			var b strings.Builder
 			for _, fn := range []func(experiments.Scale) (string, error){
@@ -103,7 +112,7 @@ func main() {
 		},
 	}
 	order := []string{"table1", "table2", "table3", "table4", "table5",
-		"fig1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "ablations"}
+		"fig1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "backends", "ablations"}
 
 	names := []string{strings.ToLower(*exp)}
 	if names[0] == "all" {

@@ -8,6 +8,11 @@
 //
 //	rnapipe -profile tiny -assemblers ray,abyss,contrail -scheme S2 \
 //	        -pattern dynamic -evaluate
+//
+// -backends moves stages onto the spot market or serverless functions
+// ("PA=spot,PB=serverless", or a bare "spot" for every stage);
+// -frontier sweeps every per-stage backend assignment and prints the
+// planner's cost–TTC Pareto frontier without running anything.
 package main
 
 import (
@@ -35,12 +40,14 @@ func main() {
 		consensus  = flag.Bool("consensus", false, "validate contigs by cross-assembler consensus before merging")
 		shards     = flag.Int("preprocess-shards", 1, "data-parallel pre-processing shard count")
 		planOnly   = flag.Bool("plan", false, "predict stage TTCs and cost, then exit without running")
+		backends   = flag.String("backends", "", `per-stage execution backends, e.g. "PA=spot,PB=serverless" or "spot" for all stages (default on-demand)`)
+		frontier   = flag.Bool("frontier", false, "sweep every per-stage backend assignment and print the planner's cost-TTC Pareto frontier, then exit without running")
 		verbose    = flag.Bool("v", false, "print per-assembly details and the pilot timeline")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file (- for stdout)")
 		metricsOut = flag.String("metrics", "", "write the run's metrics in Prometheus text format to this file (- for stdout)")
 		spans      = flag.Bool("spans", false, "print the run's span tree after the summary")
 		faultSpec  = flag.String("faults", "", `fault-injection spec, e.g. "crash:p=0.1,after=600;slowxfer:x=0.5"`)
-		faultSeed  = flag.Uint64("seed", 1, "fault-injection PRNG seed (same seed replays identically)")
+		faultSeed  = flag.Uint64("seed", 1, "fault-injection and spot-market PRNG seed (same seed replays identically)")
 		journalOut = flag.String("journal", "", "write a resumable run journal to this file")
 		resumePath = flag.String("resume", "", "resume an interrupted run from its journal (pass the original run's flags too)")
 	)
@@ -79,17 +86,39 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown pattern %q", *pattern))
 	}
+	if *backends != "" {
+		bk, err := rnascale.ParseStageBackends(*backends)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Backends = bk
+	}
+	// The seed drives the fault plan AND the spot market's price walk,
+	// so it applies whenever either consumer is configured — a spot run
+	// without faults must still replay the same market.
+	cfg.FaultSeed = *faultSeed
 	if *faultSpec != "" {
 		plan, err := rnascale.ParseFaultSpec(*faultSpec)
 		if err != nil {
 			fatal(err)
 		}
 		cfg.FaultPlan = plan
-		cfg.FaultSeed = *faultSeed
 	}
 
 	fmt.Printf("rnapipe: %s (%d reads, %d transcripts ground truth)\n",
 		ds.Profile.Organism, len(ds.Reads.Reads), len(ds.Transcripts))
+	if *frontier {
+		candidates := rnascale.ExpandBackends(cfg, nil)
+		plans, err := rnascale.Frontier(ds, candidates)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cost-TTC frontier over %d backend assignments (no execution):\n", len(candidates))
+		for _, p := range plans {
+			fmt.Println(" ", p)
+		}
+		return
+	}
 	if *planOnly {
 		plan, err := rnascale.Predict(ds, cfg)
 		if err != nil {

@@ -78,8 +78,12 @@ func (s VMState) String() string {
 
 // VM is one simulated virtual machine.
 type VM struct {
-	ID           string
-	Type         InstanceType
+	ID   string
+	Type InstanceType
+	// Backend is the purchasing model (on-demand or spot); AZ is the
+	// availability zone a spot VM was placed in (empty for on-demand).
+	Backend      Backend
+	AZ           string
 	LaunchedAt   vclock.Time // when the boot request was made
 	RunningAt    vclock.Time // LaunchedAt + boot latency
 	TerminatedAt vclock.Time // meaningful only once terminated
@@ -142,6 +146,13 @@ type Options struct {
 	// or spot reclamation) and degraded ingress transfers (see
 	// internal/faults).
 	Faults *faults.Injector
+	// Spot, when non-nil, enables the spot-market backend: a
+	// seed-deterministic per-AZ price walk with price-coupled
+	// reclamation (see SpotOptions).
+	Spot *SpotOptions
+	// Serverless, when non-nil, enables the function backend (see
+	// ServerlessOptions).
+	Serverless *ServerlessOptions
 }
 
 // DefaultOptions reflect the environment calibrated from the paper's
@@ -167,10 +178,15 @@ type Provider struct {
 	boots   int // RunInstances calls, for fault injection
 	metrics *obs.Registry
 
-	// interruptions holds fault-plan-scheduled VM losses in launch
-	// order; interruptByVM indexes them by VM ID.
+	// interruptions holds fault-plan- and market-scheduled VM losses in
+	// launch order; interruptByVM indexes them by VM ID.
 	interruptions []*Interruption
 	interruptByVM map[string]*Interruption
+
+	// spot and faas back the non-on-demand purchasing models; nil when
+	// the corresponding option is unset.
+	spot *SpotMarket
+	faas *Faas
 }
 
 // Interruption is a scheduled involuntary VM loss (an injected crash
@@ -189,6 +205,11 @@ type Interruption struct {
 	NoticeAt vclock.Time
 	// Applied reports whether the loss has been acted on.
 	Applied bool
+	// FromPlan distinguishes fault-plan interruptions from the spot
+	// market's own reclaims: only the former count toward the
+	// faults-injected metric (market reclaims are counted separately,
+	// under MetricVMInterruptions).
+	FromPlan bool
 }
 
 // NewProvider returns a provider over the given clock with the default
@@ -204,8 +225,22 @@ func NewProvider(clock *vclock.Clock, opts Options) *Provider {
 	for _, it := range DefaultCatalog() {
 		p.catalog[it.Name] = it
 	}
+	if opts.Spot != nil {
+		p.spot = NewSpotMarket(*opts.Spot)
+	}
+	if opts.Serverless != nil {
+		p.faas = NewFaas(clock, *opts.Serverless)
+	}
 	return p
 }
+
+// SpotMarket exposes the provider's spot market (nil when the spot
+// backend is not configured).
+func (p *Provider) SpotMarket() *SpotMarket { return p.spot }
+
+// Serverless exposes the provider's function backend (nil when not
+// configured).
+func (p *Provider) Serverless() *Faas { return p.faas }
 
 // Clock exposes the provider's virtual clock.
 func (p *Provider) Clock() *vclock.Clock { return p.clock }
@@ -246,17 +281,37 @@ func (p *Provider) active() int {
 	return n
 }
 
-// RunInstances requests count VMs of the named type. The VMs are
-// created in pending state and become running BootLatency later; the
-// call itself does not advance the clock (the API returns
+// RunInstances requests count on-demand VMs of the named type. The
+// VMs are created in pending state and become running BootLatency
+// later; the call itself does not advance the clock (the API returns
 // immediately, as EC2's does).
 func (p *Provider) RunInstances(typeName string, count int) ([]*VM, error) {
+	return p.RunInstancesOn(typeName, count, OnDemand)
+}
+
+// RunInstancesOn is RunInstances with an explicit purchasing backend.
+// Spot VMs are placed in the currently cheapest AZ, billed at the
+// market's integrated price over their lifetime, and may be reclaimed
+// by the market (scheduled through the same Interruption machinery a
+// fault plan uses, with the standard advance notice, so pilot
+// retry/recovery and the journal see market reclaims exactly like
+// injected ones).
+func (p *Provider) RunInstancesOn(typeName string, count int, backend Backend) ([]*VM, error) {
 	it, err := p.LookupType(typeName)
 	if err != nil {
 		return nil, err
 	}
 	if count <= 0 {
 		return nil, fmt.Errorf("cloud: RunInstances count %d", count)
+	}
+	switch backend {
+	case OnDemand:
+	case Spot:
+		if p.spot == nil {
+			return nil, fmt.Errorf("cloud: spot backend requested but Options.Spot is not configured")
+		}
+	default:
+		return nil, fmt.Errorf("cloud: backend %v has no instances to run", backend)
 	}
 	if p.opts.MaxInstances > 0 && p.active()+count > p.opts.MaxInstances {
 		p.countBootFailure(typeName, BootFailLimit)
@@ -273,12 +328,18 @@ func (p *Provider) RunInstances(typeName string, count int) ([]*VM, error) {
 		return nil, fmt.Errorf("cloud: insufficient instance capacity for %s (injected, boot #%d)", typeName, p.boots)
 	}
 	now := p.clock.Now()
+	var az string
+	if backend == Spot {
+		az = p.spot.CheapestAZ(now)
+	}
 	vms := make([]*VM, count)
 	for i := range vms {
 		p.nextID++
 		vm := &VM{
 			ID:         fmt.Sprintf("i-%06d", p.nextID),
 			Type:       it,
+			Backend:    backend,
+			AZ:         az,
 			LaunchedAt: now,
 			RunningAt:  now.Add(p.opts.BootLatency),
 			state:      VMRunning, // state field tracks terminal transitions; State(t) handles pending
@@ -286,11 +347,27 @@ func (p *Provider) RunInstances(typeName string, count int) ([]*VM, error) {
 		p.vms[vm.ID] = vm
 		p.order = append(p.order, vm.ID)
 		vms[i] = vm
+		// The fault plan's draw and (for spot VMs) the market's own
+		// reclaim draw are independent streams; whichever strikes first
+		// wins, so a spot run under a fault plan replays the plan's
+		// decisions unchanged.
+		var iv *Interruption
 		if at, class, notice, ok := p.opts.Faults.VMInterruption(vm.ID, p.nextID, vm.RunningAt); ok {
-			iv := &Interruption{VM: vm, At: at, Class: class, NoticeAt: at}
+			iv = &Interruption{VM: vm, At: at, Class: class, NoticeAt: at, FromPlan: true}
 			if notice > 0 && at.Add(-notice) > vm.LaunchedAt {
 				iv.NoticeAt = at.Add(-notice)
 			}
+		}
+		if backend == Spot {
+			if at, ok := p.spot.ReclaimAt(vm.ID, az, vm.RunningAt); ok && (iv == nil || at < iv.At) {
+				at = vclock.Max(at, vm.RunningAt)
+				iv = &Interruption{VM: vm, At: at, Class: faults.ClassReclaim, NoticeAt: at}
+				if at.Add(-faults.DefaultReclaimNotice) > vm.LaunchedAt {
+					iv.NoticeAt = at.Add(-faults.DefaultReclaimNotice)
+				}
+			}
+		}
+		if iv != nil {
 			p.interruptions = append(p.interruptions, iv)
 			p.interruptByVM[vm.ID] = iv
 		}
@@ -369,7 +446,9 @@ func (p *Provider) ApplyInterruption(iv *Interruption) bool {
 	vm.InterruptReason = string(iv.Class)
 	p.countTermination(vm)
 	p.countInterruption(vm, iv.Class)
-	p.opts.Faults.CountInjected(iv.Class)
+	if iv.FromPlan {
+		p.opts.Faults.CountInjected(iv.Class)
+	}
 	return true
 }
 
@@ -435,41 +514,86 @@ func (p *Provider) InterNodeTransfer(n int64) vclock.Duration {
 
 // BillLine is one row of the billing report.
 type BillLine struct {
-	Type          string
+	Type string
+	// Backend distinguishes purchasing models; empty for on-demand so
+	// existing reports render unchanged. Serverless lines carry
+	// Instances = invocations and InstanceHours = GB-hours.
+	Backend       string
 	Instances     int
 	InstanceHours float64
 	USD           float64
 }
 
-// Bill computes the cost ledger as of the current time.
+// vmRate reports a VM's effective hourly rate as of now: the fixed
+// catalogue price on-demand, or the market price integrated over the
+// VM's billed lifetime for spot.
+func (p *Provider) vmRate(vm *VM, now vclock.Time) float64 {
+	rate := vm.Type.PricePerHour
+	if vm.Backend == Spot && p.spot != nil {
+		end := now
+		if vm.state == VMTerminated && vm.TerminatedAt < now {
+			end = vm.TerminatedAt
+		}
+		if end < vm.LaunchedAt {
+			end = vm.LaunchedAt
+		}
+		rate *= p.spot.AvgFrac(vm.AZ, vm.LaunchedAt, end)
+	}
+	return rate
+}
+
+// Bill computes the cost ledger as of the current time, one line per
+// (instance type, backend), with serverless invocations appended as
+// per-tier lines.
 func (p *Provider) Bill() []BillLine {
 	now := p.clock.Now()
 	agg := map[string]*BillLine{}
+	keys := make([]string, 0, len(agg))
 	for _, id := range p.order {
 		vm := p.vms[id]
 		hours := vm.BilledHours(now)
 		if p.opts.HourlyRounding {
 			hours = math.Ceil(hours)
 		}
-		line, ok := agg[vm.Type.Name]
+		backend := ""
+		if vm.Backend != OnDemand {
+			backend = vm.Backend.String()
+		}
+		key := vm.Type.Name + "\x00" + backend
+		line, ok := agg[key]
 		if !ok {
-			line = &BillLine{Type: vm.Type.Name}
-			agg[vm.Type.Name] = line
+			line = &BillLine{Type: vm.Type.Name, Backend: backend}
+			agg[key] = line
+			keys = append(keys, key)
 		}
 		line.Instances++
 		line.InstanceHours += hours
-		line.USD += hours * vm.Type.PricePerHour
+		line.USD += hours * p.vmRate(vm, now)
 	}
-	names := make([]string, 0, len(agg))
-	for n := range agg {
-		names = append(names, n)
+	sort.Strings(keys)
+	out := make([]BillLine, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *agg[k])
 	}
-	sort.Strings(names)
-	out := make([]BillLine, 0, len(names))
-	for _, n := range names {
-		out = append(out, *agg[n])
+	if p.faas != nil {
+		out = append(out, p.faas.billLines()...)
 	}
 	return out
+}
+
+// Invoke runs one serverless function invocation (see
+// Serverless.Invoke) and emits invocation metrics. It errors when the
+// serverless backend is not configured.
+func (p *Provider) Invoke(fn string, memGB float64, dur vclock.Duration) (Invocation, error) {
+	if p.faas == nil {
+		return Invocation{}, fmt.Errorf("cloud: serverless backend requested but Options.Serverless is not configured")
+	}
+	inv, err := p.faas.Invoke(fn, memGB, dur)
+	if err != nil {
+		return Invocation{}, err
+	}
+	p.countInvocation(inv)
+	return inv, nil
 }
 
 // TotalCost sums the billing ledger in USD.

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"fmt"
 	"math"
 
 	"rnascale/internal/faults"
@@ -18,6 +19,8 @@ const (
 	MetricIngressBytes    = "rnascale_ingress_bytes_total"
 	MetricBootFailures    = "rnascale_vm_boot_failures_total"
 	MetricVMInterruptions = "rnascale_vm_interruptions_total"
+	MetricFnInvocations   = "rnascale_fn_invocations_total"
+	MetricFnCostUSD       = "rnascale_fn_cost_usd_total"
 )
 
 // Boot-failure reasons, the "reason" label on MetricBootFailures. The
@@ -77,14 +80,29 @@ func (p *Provider) countTermination(vm *VM) {
 	// TerminatedAt can sit past the current clock (a VM killed while
 	// still pending bills through its boot); evaluate at whichever is
 	// later so the counter matches the final Bill.
-	hours := vm.BilledHours(vclock.Max(p.clock.Now(), vm.TerminatedAt))
+	at := vclock.Max(p.clock.Now(), vm.TerminatedAt)
+	hours := vm.BilledHours(at)
 	if p.opts.HourlyRounding {
 		hours = math.Ceil(hours)
 	}
 	labels := obs.Labels{"type": vm.Type.Name}
 	p.metrics.Counter(MetricVMTerminated, "VMs terminated, by instance type.", labels).Inc()
 	p.metrics.Counter(MetricVMHours, "Instance-hours billed for terminated VMs.", labels).Add(hours)
-	p.metrics.Counter(MetricCostUSD, "USD billed for terminated VMs.", labels).Add(hours * vm.Type.PricePerHour)
+	p.metrics.Counter(MetricCostUSD, "USD billed for terminated VMs.", labels).Add(hours * p.vmRate(vm, at))
+}
+
+// countInvocation records one serverless function invocation.
+func (p *Provider) countInvocation(inv Invocation) {
+	if p.metrics == nil {
+		return
+	}
+	start := "warm"
+	if inv.Cold {
+		start = "cold"
+	}
+	labels := obs.Labels{"tier": fmt.Sprintf("%ggb", inv.TierGB), "start": start}
+	p.metrics.Counter(MetricFnInvocations, "Serverless invocations, by memory tier and start kind.", labels).Inc()
+	p.metrics.Counter(MetricFnCostUSD, "USD billed for serverless invocations, by memory tier and start kind.", labels).Add(inv.USD)
 }
 
 // countIngress records bytes uploaded from the local server.

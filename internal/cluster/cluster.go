@@ -38,6 +38,7 @@ type Cluster struct {
 	provider *cloud.Provider
 	opts     Options
 	itype    cloud.InstanceType
+	backend  cloud.Backend // purchasing model; growth and replacements stay on it
 	head     *cloud.VM
 	workers  []*cloud.VM // includes every node except none — head is workers[0]'s peer; see nodes()
 	all      []*cloud.VM
@@ -52,6 +53,13 @@ type Cluster struct {
 // jobs, as in the paper's sample run where one VM serves PA, PB and
 // PC).
 func Build(p *cloud.Provider, typeName string, n int, opts Options) (*Cluster, error) {
+	return BuildOn(p, typeName, n, cloud.OnDemand, opts)
+}
+
+// BuildOn is Build with an explicit purchasing backend. The cluster
+// remembers its backend, so S2-style growth and fault-recovery
+// replacements boot on the same market the original nodes did.
+func BuildOn(p *cloud.Provider, typeName string, n int, backend cloud.Backend, opts Options) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: build with %d nodes", n)
 	}
@@ -59,7 +67,7 @@ func Build(p *cloud.Provider, typeName string, n int, opts Options) (*Cluster, e
 	if err != nil {
 		return nil, err
 	}
-	vms, err := p.RunInstances(typeName, n)
+	vms, err := p.RunInstancesOn(typeName, n, backend)
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +77,7 @@ func Build(p *cloud.Provider, typeName string, n int, opts Options) (*Cluster, e
 		provider: p,
 		opts:     opts,
 		itype:    it,
+		backend:  backend,
 		head:     vms[0],
 		all:      vms,
 		store:    NewSharedStore(),
@@ -103,6 +112,7 @@ func Adopt(p *cloud.Provider, vms []*cloud.VM, opts Options) (*Cluster, error) {
 		provider: p,
 		opts:     opts,
 		itype:    vms[0].Type,
+		backend:  vms[0].Backend,
 		head:     vms[0],
 		all:      append([]*cloud.VM(nil), vms...),
 		store:    NewSharedStore(),
@@ -136,7 +146,7 @@ func (c *Cluster) Grow(k int) ([]*cloud.VM, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("cluster: grow by %d", k)
 	}
-	vms, err := c.provider.RunInstances(c.itype.Name, k)
+	vms, err := c.provider.RunInstancesOn(c.itype.Name, k, c.backend)
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +267,9 @@ func (c *Cluster) Size() int { return len(c.all) }
 
 // InstanceType reports the node flavour.
 func (c *Cluster) InstanceType() cloud.InstanceType { return c.itype }
+
+// Backend reports the purchasing model the cluster's nodes run on.
+func (c *Cluster) Backend() cloud.Backend { return c.backend }
 
 // Head returns the head-node VM.
 func (c *Cluster) Head() *cloud.VM { return c.head }

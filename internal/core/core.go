@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"rnascale/internal/cloud"
 	"rnascale/internal/detonate"
@@ -136,6 +137,14 @@ type Config struct {
 	// future-work "data and task-level parallelization" for the
 	// pre-processing stage. 0 or 1 keeps the paper's single-VM PA.
 	ParallelPreprocessShards int
+	// Backends selects a purchasing backend per stage (on-demand, spot
+	// or serverless). The zero value runs everything on-demand, exactly
+	// as before the backend dimension existed. Serverless stages are
+	// incompatible with the Conventional pattern (there is no single
+	// cluster to share). When a stage uses spot and Cloud carries no
+	// SpotOptions, a default market seeded from FaultSeed is created;
+	// likewise for serverless and ServerlessOptions.
+	Backends StageBackends
 	// ConditionB, when non-nil, provides a second sample condition:
 	// the PC stage additionally quantifies it against the assembled
 	// transcripts and runs the differential-expression test (the
@@ -161,9 +170,9 @@ type Config struct {
 	// FaultSeed seeds the fault injector's splittable PRNG.
 	FaultSeed uint64
 	// Retry sets per-stage unit retry policies. Zero policies default
-	// to pilot.DefaultRetryPolicy when a fault plan is present (so
-	// injected faults are survivable by default) and to no retries
-	// otherwise.
+	// to pilot.DefaultRetryPolicy when a fault plan is present or any
+	// stage buys spot capacity (so injected faults and market reclaims
+	// are survivable by default) and to no retries otherwise.
 	Retry StageRetryPolicies
 	// Journal, when non-nil, receives a write-ahead record of the run:
 	// one record per stage boundary and per unit completion, each
@@ -184,6 +193,78 @@ type Config struct {
 // stage.
 type StageRetryPolicies struct {
 	PA, PB, PC pilot.RetryPolicy
+}
+
+// StageBackends carries one execution backend per pipeline stage.
+type StageBackends struct {
+	PA, PB, PC cloud.Backend
+}
+
+// AnySpot reports whether any stage buys spot capacity.
+func (b StageBackends) AnySpot() bool {
+	return b.PA == cloud.Spot || b.PB == cloud.Spot || b.PC == cloud.Spot
+}
+
+// AnyServerless reports whether any stage runs as functions.
+func (b StageBackends) AnyServerless() bool {
+	return b.PA == cloud.Serverless || b.PB == cloud.Serverless || b.PC == cloud.Serverless
+}
+
+// For resolves a stage name (PA/PB/PC) to its backend.
+func (b StageBackends) For(stage string) cloud.Backend {
+	switch stage {
+	case "PB":
+		return b.PB
+	case "PC":
+		return b.PC
+	default:
+		return b.PA
+	}
+}
+
+// String renders the per-stage assignment ("PA=spot,PB=serverless,PC=on-demand").
+func (b StageBackends) String() string {
+	return fmt.Sprintf("PA=%s,PB=%s,PC=%s", b.PA, b.PB, b.PC)
+}
+
+// ParseStageBackends parses a "PA=spot,PB=serverless,PC=od" list;
+// omitted stages stay on-demand, and a bare backend name applies to
+// every stage ("spot" ≡ "PA=spot,PB=spot,PC=spot").
+func ParseStageBackends(s string) (StageBackends, error) {
+	var b StageBackends
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return b, nil
+	}
+	if !strings.Contains(s, "=") {
+		be, err := cloud.ParseBackend(s)
+		if err != nil {
+			return b, err
+		}
+		b.PA, b.PB, b.PC = be, be, be
+		return b, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		stage, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return b, fmt.Errorf("core: backend assignment %q is not stage=backend", part)
+		}
+		be, err := cloud.ParseBackend(val)
+		if err != nil {
+			return b, err
+		}
+		switch strings.ToUpper(strings.TrimSpace(stage)) {
+		case "PA":
+			b.PA = be
+		case "PB":
+			b.PB = be
+		case "PC":
+			b.PC = be
+		default:
+			return b, fmt.Errorf("core: unknown stage %q in backend assignment", stage)
+		}
+	}
+	return b, nil
 }
 
 // DefaultConfig reproduces the paper's sample-run setup: scheme S2,
@@ -217,7 +298,9 @@ func (c Config) withDefaults() Config {
 	if c.Preprocess == (preprocess.Options{}) {
 		c.Preprocess = preprocess.DefaultOptions()
 	}
-	if c.FaultPlan != nil {
+	// Spot stages carry reclaim risk even without a fault plan, so they
+	// get the same survivable-by-default retry treatment.
+	if c.FaultPlan != nil || c.Backends.AnySpot() {
 		def := pilot.DefaultRetryPolicy()
 		if c.Retry.PA == (pilot.RetryPolicy{}) {
 			c.Retry.PA = def

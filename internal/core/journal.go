@@ -112,6 +112,11 @@ func configDigest(cfg Config, ds *simdata.Dataset) string {
 	if cfg.FaultPlan != nil {
 		io.WriteString(h, "|"+cfg.FaultPlan.String())
 	}
+	if cfg.Backends != (StageBackends{}) {
+		// Folded in only when set, so digests of pre-backend configs
+		// (and their journals) stay valid.
+		io.WriteString(h, "|backends:"+cfg.Backends.String())
+	}
 	if cfg.ConditionB != nil {
 		fmt.Fprintf(h, "|condB:%d:%t:", len(cfg.ConditionB.Reads), cfg.ConditionB.Paired)
 		for _, r := range cfg.ConditionB.Reads {

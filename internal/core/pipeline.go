@@ -52,6 +52,15 @@ func New(cfg Config) *Pipeline {
 	if cfg.Cloud != nil {
 		copts = *cfg.Cloud
 	}
+	// Stage backends may need markets the caller didn't configure:
+	// default them. The spot market is seeded from FaultSeed so a run
+	// is a pure function of its config.
+	if cfg.Backends.AnySpot() && copts.Spot == nil {
+		copts.Spot = &cloud.SpotOptions{Seed: cfg.FaultSeed}
+	}
+	if cfg.Backends.AnyServerless() && copts.Serverless == nil {
+		copts.Serverless = &cloud.ServerlessOptions{}
+	}
 	o := cfg.Obs
 	if o == nil {
 		o = obs.New()
@@ -129,6 +138,9 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 			return rep, err
 		}
 	}
+	if cfg.Pattern == Conventional && cfg.Backends.AnyServerless() {
+		return rep, fmt.Errorf("core: the conventional pattern shares one cluster across stages and cannot host serverless stages (%s)", cfg.Backends)
+	}
 
 	pl.runSpan = pl.o.Tracer.StartSpan(nil, obs.KindRun, "run", pl.clock.Now())
 	pl.runSpan.SetAttr("scheme", cfg.Scheme.String())
@@ -151,7 +163,9 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	// --- PA: pre-processing ---
 	preModel := preprocess.DefaultCostModel()
 	paType := cfg.InstanceType
-	if cfg.Pattern == DistributedDynamic {
+	if cfg.Backends.PA == cloud.Serverless {
+		paType = "serverless"
+	} else if cfg.Pattern == DistributedDynamic {
 		it, err := ChooseInstanceType(pl.provider, preModel.MemoryGB(fs), 8)
 		if err != nil {
 			return rep, err
@@ -162,23 +176,19 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	if shards < 1 {
 		shards = 1
 	}
-	paDesc := pilot.PilotDescription{
-		Name: "PA", InstanceType: paType, Nodes: shards,
-		// Under S2, VM lifetime belongs to the scheme, not the pilot.
-		RetainVMs: cfg.Scheme == S2 && cfg.Pattern != Conventional,
-	}
+	paNodes := shards
 	if cfg.Pattern == Conventional {
 		// One pilot hosts everything: size it for the whole workflow
 		// up front (the pattern's defining inflexibility).
 		kmers := pl.kmerPlan(ds, nil)
-		if n := pl.assemblyNodes(kmers); n > paDesc.Nodes {
-			paDesc.Nodes = n
+		if n := pl.assemblyNodes(kmers); n > paNodes {
+			paNodes = n
 		}
 	}
 	paScope := pl.beginStage("PA")
 	paScope.attr(obs.AttrInstanceType, paType)
-	paScope.attr(obs.AttrNodes, fmt.Sprintf("%d", paDesc.Nodes))
-	pa, err := pl.pm.SubmitPilot(paDesc)
+	paScope.attr(obs.AttrNodes, fmt.Sprintf("%d", paNodes))
+	pa, err := pl.firstStage("PA", paType, paNodes, cfg.Backends.PA)
 	if err != nil {
 		err = fmt.Errorf("core: launching PA: %w", err)
 		paScope.fail(err)
@@ -195,10 +205,8 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	fsShard := fs
 	fsShard.SeqDataBytes = fs.SeqDataBytes / int64(shards)
 
-	paUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
-	paUM.SetObs(pl.o)
-	paUM.SetOnUnitDone(pl.jr.onUnitDone("PA"))
-	if err := paUM.AddPilots(pa); err != nil {
+	paUM, err := pl.newRunner(pa, "PA")
+	if err != nil {
 		return rep, err
 	}
 	paStart := pl.clock.Now()
@@ -207,7 +215,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 		s := s
 		paDescs = append(paDescs, pilot.UnitDescription{
 			Name:  fmt.Sprintf("preprocess-%d", s),
-			Slots: min(pa.Cluster.InstanceType().Cores, 8),
+			Slots: min(pa.cores(), 8),
 			Rule:  sge.SingleNode,
 			Retry: cfg.Retry.PA,
 			Work: pl.jr.unit("PA", fmt.Sprintf("preprocess-%d", s),
@@ -246,7 +254,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	}
 	for _, u := range paUnits {
 		if u.State() != pilot.UnitDone {
-			rep.Stages = append(rep.Stages, StageReport{Name: "PA", Pilot: pa.ID, Start: paStart, End: pl.clock.Now(), Note: "FAILED"})
+			rep.Stages = append(rep.Stages, StageReport{Name: "PA", Pilot: pa.id(), Start: paStart, End: pl.clock.Now(), Note: "FAILED"})
 			err := fmt.Errorf("core: PA pre-processing failed on %s: %w", paType, u.Err)
 			paScope.fail(err)
 			pl.teardown(pa)
@@ -275,13 +283,13 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	if err := seq.WriteFastq(&fq, cleaned.Reads); err != nil {
 		return rep, err
 	}
-	if err := pa.Cluster.Store().Put("data/clean.fastq", fq.Bytes()); err != nil {
+	if err := pa.store().Put("data/clean.fastq", fq.Bytes()); err != nil {
 		return rep, err
 	}
 	rep.PreStats = preStats
 	paScope.end()
 	rep.Stages = append(rep.Stages, StageReport{
-		Name: "PA", Pilot: pa.ID, Start: paStart, End: pl.clock.Now(),
+		Name: "PA", Pilot: pa.id(), Start: paStart, End: pl.clock.Now(),
 		Note: preStats.String(),
 	})
 
@@ -294,11 +302,16 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 
 	// --- PB: multiple-k-mer, multi-assembler transcript assembly ---
 	nodes := pl.assemblyNodes(kmers)
+	if cfg.Backends.PB == cloud.Serverless {
+		// Functions are single one-core allocations: there is no
+		// assembly cluster to size.
+		nodes = 0
+	}
 	rep.AssemblyNodes = nodes
 	pbScope := pl.beginStage("PB")
 	pbScope.attr("kmers", fmt.Sprint(kmers))
 	pbScope.attr(obs.AttrNodes, fmt.Sprintf("%d", nodes))
-	pb, transferNote, err := pl.nextPilot("PB", pa, nodes, func() (string, error) {
+	pb, transferNote, err := pl.nextStage("PB", pa, nodes, cfg.Backends.PB, func() (string, error) {
 		// Instance choice for a fresh (S1) PB pilot.
 		if cfg.Pattern != DistributedDynamic {
 			return cfg.InstanceType, nil
@@ -309,7 +322,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 			return "", err
 		}
 		return it.Name, nil
-	}, fs.PostPreprocessBytes, pa.Cluster.Store())
+	}, fs.PostPreprocessBytes)
 	if err != nil {
 		err = fmt.Errorf("core: launching PB: %w", err)
 		pbScope.fail(err)
@@ -317,16 +330,14 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 		rep.finish(pl)
 		return rep, err
 	}
-	pbScope.attr(obs.AttrInstanceType, pb.Cluster.InstanceType().Name)
+	pbScope.attr(obs.AttrInstanceType, pb.instanceName())
 
 	pbStart := pl.clock.Now()
-	pbUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
-	pbUM.SetObs(pl.o)
-	pbUM.SetOnUnitDone(pl.jr.onUnitDone("PB"))
-	if err := pbUM.AddPilots(pb); err != nil {
+	pbUM, err := pl.newRunner(pb, "PB")
+	if err != nil {
 		return rep, err
 	}
-	cores := pb.Cluster.InstanceType().Cores
+	cores := pb.cores()
 	type asmKey struct {
 		name string
 		k    int
@@ -346,6 +357,14 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 		}
 		if jobNodes > 1 {
 			rule = sge.FillUp
+		}
+		if cfg.Backends.PB == cloud.Serverless {
+			// A function invocation is one single-core allocation;
+			// multi-node MPI shapes don't exist on this backend, so the
+			// assembler runs sequentially and long jobs split into
+			// parallel pieces at the duration cap instead.
+			jobNodes = 1
+			rule = sge.SingleNode
 		}
 		for _, k := range kmers {
 			k := k
@@ -457,7 +476,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	}
 	for _, u := range pbUnits {
 		if u.State() != pilot.UnitDone {
-			rep.Stages = append(rep.Stages, StageReport{Name: "PB", Pilot: pb.ID, Start: pbStart, End: pl.clock.Now(), Note: "FAILED"})
+			rep.Stages = append(rep.Stages, StageReport{Name: "PB", Pilot: pb.id(), Start: pbStart, End: pl.clock.Now(), Note: "FAILED"})
 			err := fmt.Errorf("core: PB unit %s failed: %w", u.ID, u.Err)
 			pbScope.fail(err)
 			pl.teardown(pa, pb)
@@ -479,9 +498,13 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 		}
 	}
 	pbScope.end()
+	pbNote := fmt.Sprintf("%d assembly jobs on %d nodes%s", len(pbUnits), nodes, transferNote)
+	if pb.faas != nil {
+		pbNote = fmt.Sprintf("%d assembly jobs as functions%s", len(pbUnits), transferNote)
+	}
 	rep.Stages = append(rep.Stages, StageReport{
-		Name: "PB", Pilot: pb.ID, Start: pbStart, End: pl.clock.Now(),
-		Note: fmt.Sprintf("%d assembly jobs on %d nodes%s", len(pbUnits), nodes, transferNote),
+		Name: "PB", Pilot: pb.id(), Start: pbStart, End: pl.clock.Now(),
+		Note: pbNote,
 	})
 
 	// --- PC: post-processing, quantification ---
@@ -494,7 +517,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	}
 	pcScope := pl.beginStage("PC")
 	pcScope.attr(obs.AttrNodes, "1")
-	pc, pcTransferNote, err := pl.nextPilot("PC", pb, 1, func() (string, error) {
+	pc, pcTransferNote, err := pl.nextStage("PC", pb, 1, cfg.Backends.PC, func() (string, error) {
 		if cfg.Pattern != DistributedDynamic {
 			return cfg.InstanceType, nil
 		}
@@ -503,7 +526,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 			return "", err
 		}
 		return it.Name, nil
-	}, pbOutBytes, pb.Cluster.Store())
+	}, pbOutBytes)
 	if err != nil {
 		err = fmt.Errorf("core: launching PC: %w", err)
 		pcScope.fail(err)
@@ -511,12 +534,10 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 		rep.finish(pl)
 		return rep, err
 	}
-	pcScope.attr(obs.AttrInstanceType, pc.Cluster.InstanceType().Name)
+	pcScope.attr(obs.AttrInstanceType, pc.instanceName())
 	pcStart := pl.clock.Now()
-	pcUM := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
-	pcUM.SetObs(pl.o)
-	pcUM.SetOnUnitDone(pl.jr.onUnitDone("PC"))
-	if err := pcUM.AddPilots(pc); err != nil {
+	pcUM, err := pl.newRunner(pc, "PC")
+	if err != nil {
 		return rep, err
 	}
 	pcWork := func(env *pilot.ExecEnv) (pilot.WorkResult, error) {
@@ -629,7 +650,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	}
 	pcUnits, err := pcUM.Submit([]pilot.UnitDescription{{
 		Name:  "postprocess",
-		Slots: min(pc.Cluster.InstanceType().Cores, 8),
+		Slots: min(pc.cores(), 8),
 		Rule:  sge.SingleNode,
 		Retry: cfg.Retry.PC,
 		Work:  pl.jr.unit("PC", "postprocess", pcWork, pcCodec),
@@ -641,7 +662,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 		return rep, err
 	}
 	if st := pcUnits[0].State(); st != pilot.UnitDone {
-		rep.Stages = append(rep.Stages, StageReport{Name: "PC", Pilot: pc.ID, Start: pcStart, End: pl.clock.Now(), Note: "FAILED"})
+		rep.Stages = append(rep.Stages, StageReport{Name: "PC", Pilot: pc.id(), Start: pcStart, End: pl.clock.Now(), Note: "FAILED"})
 		err := fmt.Errorf("core: PC post-processing failed: %w", pcUnits[0].Err)
 		pcScope.fail(err)
 		pl.teardown(pa, pb, pc)
@@ -650,7 +671,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	}
 	pcScope.end()
 	rep.Stages = append(rep.Stages, StageReport{
-		Name: "PC", Pilot: pc.ID, Start: pcStart, End: pl.clock.Now(),
+		Name: "PC", Pilot: pc.id(), Start: pcStart, End: pl.clock.Now(),
 		Note: rep.MergeStats.String() + pcTransferNote,
 	})
 
@@ -700,31 +721,157 @@ func (pl *Pipeline) assemblyNodes(kmers []int) int {
 	return AssemblyNodesFor(kmers, pl.cfg.Assemblers, pl.cfg.NodesPerMPIJob, pl.cfg.ContrailNodes)
 }
 
-// nextPilot provisions the pilot for the next stage according to the
-// matching scheme and workflow pattern, migrating `stageBytes` of
-// data from the previous stage's store. It returns the pilot and a
-// human-readable note about any data transfer performed.
-func (pl *Pipeline) nextPilot(name string, prev *pilot.Pilot, nodes int,
-	chooseType func() (string, error), stageBytes int64, prevStore *cluster.SharedStore) (*pilot.Pilot, string, error) {
+// stageExec is the execution vehicle for one pipeline stage: a
+// VM-backed pilot (on-demand or spot), or a serverless function
+// runner.
+type stageExec struct {
+	pilot *pilot.Pilot
+	faas  *pilot.FunctionRunner
+}
+
+// id reports the vehicle's state-store ID for stage reports.
+func (sx *stageExec) id() string {
+	if sx.faas != nil {
+		return sx.faas.ID()
+	}
+	return sx.pilot.ID
+}
+
+// store exposes the vehicle's shared filesystem (NFS on a cluster, an
+// object store for functions).
+func (sx *stageExec) store() *cluster.SharedStore {
+	if sx.faas != nil {
+		return sx.faas.Store()
+	}
+	return sx.pilot.Cluster.Store()
+}
+
+// cores reports the per-allocation core count units size their slot
+// requests by: the node flavour's cores on a pilot, one for functions.
+func (sx *stageExec) cores() int {
+	if sx.faas != nil {
+		return 1
+	}
+	return sx.pilot.Cluster.InstanceType().Cores
+}
+
+func (sx *stageExec) instanceName() string {
+	if sx.faas != nil {
+		return "serverless"
+	}
+	return sx.pilot.Cluster.InstanceType().Name
+}
+
+// unitRunner is the slice of the unit-execution contract the pipeline
+// drives, satisfied by both *pilot.UnitManager and
+// *pilot.FunctionRunner.
+type unitRunner interface {
+	SetObs(*obs.Obs)
+	SetOnUnitDone(func(*pilot.Unit, vclock.Time))
+	Submit([]pilot.UnitDescription) ([]*pilot.Unit, error)
+	Run() error
+}
+
+// newRunner builds the unit runner for a stage vehicle, wired into the
+// run's observability and journal hooks.
+func (pl *Pipeline) newRunner(sx *stageExec, stage string) (unitRunner, error) {
+	if sx.faas != nil {
+		sx.faas.SetObs(pl.o)
+		sx.faas.SetOnUnitDone(pl.jr.onUnitDone(stage))
+		return sx.faas, nil
+	}
+	um := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
+	um.SetObs(pl.o)
+	um.SetOnUnitDone(pl.jr.onUnitDone(stage))
+	if err := um.AddPilots(sx.pilot); err != nil {
+		return nil, err
+	}
+	return um, nil
+}
+
+// firstStage provisions the workflow's first execution vehicle: a
+// pilot on the requested purchasing backend, or a function runner when
+// the stage is serverless.
+func (pl *Pipeline) firstStage(name, itype string, nodes int, backend cloud.Backend) (*stageExec, error) {
+	if backend == cloud.Serverless {
+		fr, err := pilot.NewFunctionRunner(pl.provider, pl.pm.Store(), name)
+		if err != nil {
+			return nil, err
+		}
+		return &stageExec{faas: fr}, nil
+	}
+	p, err := pl.pm.SubmitPilot(pilot.PilotDescription{
+		Name: name, InstanceType: itype, Nodes: nodes, Backend: backend,
+		// Under S2, VM lifetime belongs to the scheme, not the pilot.
+		RetainVMs: pl.cfg.Scheme == S2 && pl.cfg.Pattern != Conventional,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &stageExec{pilot: p}, nil
+}
+
+// release completes a finished stage's execution vehicle. When
+// terminateVMs is set, VMs it retained under S2 are shut down too —
+// the boundary into a serverless stage, where nothing will adopt them.
+func (pl *Pipeline) release(sx *stageExec, terminateVMs bool) error {
+	if sx.faas != nil {
+		return sx.faas.Complete()
+	}
+	vms := sx.pilot.Cluster.VMs()
+	if err := pl.pm.CompletePilot(sx.pilot); err != nil {
+		return err
+	}
+	if terminateVMs {
+		pl.provider.Terminate(vms...)
+	}
+	return nil
+}
+
+// nextStage provisions the execution vehicle for the next stage
+// according to the matching scheme, workflow pattern and requested
+// backend, migrating `stageBytes` of data from the previous stage's
+// store. It returns the vehicle and a human-readable note about any
+// data transfer performed.
+func (pl *Pipeline) nextStage(name string, prev *stageExec, nodes int, backend cloud.Backend,
+	chooseType func() (string, error), stageBytes int64) (*stageExec, string, error) {
 
 	if pl.cfg.Pattern == Conventional {
 		// Single-pilot workflow: reuse the original pilot untouched.
 		return prev, "", nil
 	}
-	switch pl.cfg.Scheme {
-	case S2:
-		// Reuse the previous pilot's VMs; grow or shrink to size.
-		if err := pl.pm.CompletePilot(prev); err != nil {
+	prevStore := prev.store()
+	if backend == cloud.Serverless {
+		// The stage runs as functions: its data moves to the object
+		// store, and any VMs the previous stage retained have no
+		// successor to adopt them, so they terminate now.
+		fr, err := pilot.NewFunctionRunner(pl.provider, pl.pm.Store(), name)
+		if err != nil {
 			return nil, "", err
 		}
-		vms := prev.Cluster.VMs()
+		d := pl.provider.InterNodeTransfer(stageBytes)
+		pl.clock.Advance(d)
+		copyStore(prevStore, fr.Store())
+		if err := pl.release(prev, true); err != nil {
+			return nil, "", err
+		}
+		return &stageExec{faas: fr}, fmt.Sprintf("; %v transfer to object store", d), nil
+	}
+	if pl.cfg.Scheme == S2 && prev.pilot != nil {
+		// Reuse the previous pilot's VMs; grow or shrink to size.
+		if err := pl.pm.CompletePilot(prev.pilot); err != nil {
+			return nil, "", err
+		}
+		vms := prev.pilot.Cluster.VMs()
 		if len(vms) > nodes {
 			// Terminate the excess (sample run: "other 35 VMs, which
 			// are not necessary for PC, are terminated").
 			pl.provider.Terminate(vms[nodes:]...)
 			vms = vms[:nodes]
 		} else if len(vms) < nodes {
-			extra, err := pl.provider.RunInstances(prev.Cluster.InstanceType().Name, nodes-len(vms))
+			// Growth buys on the stage's requested backend; the adopted
+			// nodes keep whichever market they were booted on.
+			extra, err := pl.provider.RunInstancesOn(prev.pilot.Cluster.InstanceType().Name, nodes-len(vms), backend)
 			if err != nil {
 				return nil, "", err
 			}
@@ -739,33 +886,42 @@ func (pl *Pipeline) nextPilot(name string, prev *pilot.Pilot, nodes int,
 		// Shared filesystem persists across pilots under S2: no
 		// transfer, just carry the files over.
 		copyStore(prevStore, p.Cluster.Store())
-		return p, "", nil
-	default: // S1
-		itype, err := chooseType()
-		if err != nil {
-			return nil, "", err
-		}
-		p, err := pl.pm.SubmitPilot(pilot.PilotDescription{Name: name, InstanceType: itype, Nodes: nodes})
-		if err != nil {
-			return nil, "", err
-		}
-		// Migrate data between the old and new pilots' filesystems,
-		// then release the previous pilot's VMs.
-		d := pl.provider.InterNodeTransfer(stageBytes)
-		pl.clock.Advance(d)
-		copyStore(prevStore, p.Cluster.Store())
-		if err := pl.pm.CompletePilot(prev); err != nil {
-			return nil, "", err
-		}
-		return p, fmt.Sprintf("; %v inter-pilot data transfer", d), nil
+		return &stageExec{pilot: p}, "", nil
 	}
+	// S1 — or the previous stage ran serverless, leaving no VMs to
+	// reuse: boot fresh nodes on the requested backend.
+	itype, err := chooseType()
+	if err != nil {
+		return nil, "", err
+	}
+	p, err := pl.pm.SubmitPilot(pilot.PilotDescription{
+		Name: name, InstanceType: itype, Nodes: nodes, Backend: backend,
+		RetainVMs: pl.cfg.Scheme == S2,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	// Migrate data between the old and new stages' filesystems, then
+	// release the previous stage's resources.
+	d := pl.provider.InterNodeTransfer(stageBytes)
+	pl.clock.Advance(d)
+	copyStore(prevStore, p.Cluster.Store())
+	if err := pl.release(prev, false); err != nil {
+		return nil, "", err
+	}
+	return &stageExec{pilot: p}, fmt.Sprintf("; %v inter-pilot data transfer", d), nil
 }
 
-// teardown completes every pilot and terminates all VMs.
-func (pl *Pipeline) teardown(ps ...*pilot.Pilot) {
-	for _, p := range ps {
-		if p != nil {
-			_ = pl.pm.CompletePilot(p)
+// teardown completes every stage vehicle and terminates all VMs.
+func (pl *Pipeline) teardown(sxs ...*stageExec) {
+	for _, sx := range sxs {
+		if sx == nil {
+			continue
+		}
+		if sx.faas != nil {
+			_ = sx.faas.Complete()
+		} else if sx.pilot != nil {
+			_ = pl.pm.CompletePilot(sx.pilot)
 		}
 	}
 	pl.provider.TerminateAll()

@@ -40,9 +40,13 @@ type Plan struct {
 
 // String renders the plan compactly.
 func (p Plan) String() string {
-	return fmt.Sprintf("%v/%v on %d×%s: transfer %v, PA %v, PB %v, PC %v → TTC %v, $%.2f",
+	s := fmt.Sprintf("%v/%v on %d×%s: transfer %v, PA %v, PB %v, PC %v → TTC %v, $%.2f",
 		p.Config.Scheme, p.Config.Pattern, p.AssemblyNodes, p.InstanceType,
 		p.Transfer, p.PA, p.PB, p.PC, p.TTC, p.CostUSD)
+	if p.Config.Backends != (StageBackends{}) {
+		s += " [" + p.Config.Backends.String() + "]"
+	}
+	return s
 }
 
 // Objective selects what Optimize minimizes.
@@ -71,6 +75,12 @@ func (o Objective) String() string {
 // percent).
 func Predict(ds *simdata.Dataset, cfg Config) (Plan, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Backends != (StageBackends{}) {
+		// The per-stage backend dimension needs the general timeline
+		// model; the default all-on-demand path keeps the original
+		// closed-form estimate (validated against Run to a few percent).
+		return predictBackends(ds, cfg)
+	}
 	fs := ds.Profile.FullScale
 	copts := cloud.DefaultOptions()
 	if cfg.Cloud != nil {
@@ -219,6 +229,335 @@ func Predict(ds *simdata.Dataset, cfg Config) (Plan, error) {
 			price*pbWindow.Hours()*float64(nodes-1)
 	}
 	return plan, nil
+}
+
+// predictBackends is the general timeline model behind Predict for
+// configurations with a non-default per-stage backend assignment. It
+// walks the workflow stage by stage in absolute virtual time (spot
+// prices are time-dependent), pricing VM stages per window on their
+// market and serverless stages per invocation, and inflates spot plans
+// by the market's expected reclaim count (each reclaim costs one
+// replacement boot). The estimate is RNG-free and deterministic: the
+// spot walk it integrates over is the same memoized price walk the run
+// will see.
+func predictBackends(ds *simdata.Dataset, cfg Config) (Plan, error) {
+	fs := ds.Profile.FullScale
+	copts := cloud.DefaultOptions()
+	if cfg.Cloud != nil {
+		copts = *cfg.Cloud
+	}
+	clopts := cluster.DefaultOptions()
+	b := cfg.Backends
+	plan := Plan{Config: cfg}
+	if cfg.Pattern == Conventional && b.AnyServerless() {
+		return plan, fmt.Errorf("core: the conventional pattern shares one cluster across stages and cannot host serverless stages (%s)", b)
+	}
+
+	// Markets, defaulted exactly as New does.
+	var market *cloud.SpotMarket
+	if b.AnySpot() {
+		sopts := cloud.SpotOptions{Seed: cfg.FaultSeed}
+		if copts.Spot != nil {
+			sopts = *copts.Spot
+		}
+		market = cloud.NewSpotMarket(sopts)
+	}
+	so := cloud.DefaultServerlessOptions()
+	if copts.Serverless != nil {
+		so = copts.Serverless.WithDefaults()
+	}
+
+	// Instance type (mirrors Run's dynamic choice for PA).
+	preModel := preprocess.DefaultCostModel()
+	itName := cfg.InstanceType
+	if cfg.Pattern == DistributedDynamic && b.PA != cloud.Serverless {
+		it, err := ChooseInstanceType(cloud.NewProvider(vclock.NewClock(0), copts), preModel.MemoryGB(fs), 8)
+		if err != nil {
+			return plan, err
+		}
+		itName = it.Name
+	}
+	it, err := cloud.NewProvider(vclock.NewClock(0), copts).LookupType(itName)
+	if err != nil {
+		return plan, err
+	}
+	plan.InstanceType = it.Name
+	cores := it.Cores
+	price := it.PricePerHour
+	boot := copts.BootLatency + clopts.ConfigPerNode
+
+	shards := cfg.ParallelPreprocessShards
+	if shards < 1 {
+		shards = 1
+	}
+	fsShard := fs
+	fsShard.SeqDataBytes /= int64(shards)
+
+	var (
+		t        vclock.Time
+		cost     float64
+		reclaims float64 // expected spot reclaims across all stages
+	)
+	// vmWindow prices n nodes across [from, to) on a backend, and
+	// accumulates the reclaim expectation for spot windows.
+	vmWindow := func(be cloud.Backend, n int, from, to vclock.Time) float64 {
+		hours := to.Sub(from).Hours()
+		if be == cloud.Spot {
+			az := market.CheapestAZ(from)
+			reclaims += float64(n) * market.ExpectedReclaims(az, from, to)
+			return price * market.AvgFrac(az, from, to) * hours * float64(n)
+		}
+		return price * hours * float64(n)
+	}
+	// fnStage prices one class of serverless units: each of n parallel
+	// units runs `dur` of compute at `memGB`, split at the duration cap
+	// into parallel pieces. Returns the stage wall time (every first
+	// burst is cold).
+	fnStage := func(stage string, n int, dur vclock.Duration, memGB float64) (vclock.Duration, error) {
+		tier, ok := so.TierFor(memGB)
+		if !ok {
+			return 0, fmt.Errorf("core: plan infeasible: %s needs %.1f GB, largest function tier is %.0f GB",
+				stage, memGB, so.MaxTierGB())
+		}
+		pieces := splitPieces(dur, so.MaxDuration)
+		piece := dur / vclock.Duration(pieces)
+		cost += float64(n*pieces) * so.InvocationUSD(tier, piece)
+		return so.ColdStart + piece, nil
+	}
+
+	// Stage 0: upload.
+	plan.Transfer = copts.Ingress.Transfer(fs.SeqDataBytes)
+	t = t.Add(plan.Transfer)
+
+	// K-mer plan and PB sizing, needed up front for Conventional.
+	kmers := cfg.Kmers
+	if len(kmers) == 0 {
+		kmers = fs.AssemblyKmers
+	}
+	if len(kmers) == 0 {
+		kmers = preprocess.KmerPlan(float64(ds.Profile.ReadLen), ds.Profile.ReadLen)
+	}
+	nodes := cfg.AssemblyNodesOverride
+	if nodes <= 0 {
+		nodes = AssemblyNodesFor(kmers, cfg.Assemblers, cfg.NodesPerMPIJob, cfg.ContrailNodes)
+	}
+	asmFS := fs
+	asmFS.SeqDataBytes = fs.PostPreprocessBytes
+
+	// PA.
+	paMem := preModel.MemoryGB(fsShard)
+	if b.PA == cloud.Serverless {
+		wall, err := fnStage("pre-processing", shards, preModel.Duration(fsShard, 1), paMem)
+		if err != nil {
+			return plan, err
+		}
+		plan.PA = wall
+		t = t.Add(wall)
+	} else {
+		if paMem > it.MemoryGB {
+			return plan, fmt.Errorf("core: plan infeasible: pre-processing needs %.1f GB, %s offers %.1f GB",
+				paMem, it.Name, it.MemoryGB)
+		}
+		paNodes := shards
+		if cfg.Pattern == Conventional && nodes > paNodes {
+			paNodes = nodes // one cluster sized for the whole workflow
+		}
+		start := t
+		t = t.Add(boot)
+		plan.PA = preModel.Duration(fsShard, min(cores, 8))
+		t = t.Add(plan.PA)
+		if cfg.Pattern != Conventional {
+			cost += vmWindow(b.PA, paNodes, start, t)
+		} else {
+			_ = paNodes // Conventional bills the whole run in one window below.
+		}
+	}
+
+	// PB: per-job estimates, then either an SGE schedule on the cluster
+	// or an all-parallel function burst.
+	type jobEst struct {
+		name     string
+		jobNodes int
+		rule     sge.AllocationRule
+		d        vclock.Duration
+		memGB    float64
+	}
+	var jobs []jobEst
+	for _, name := range cfg.Assemblers {
+		a, err := assembler.Get(name)
+		if err != nil {
+			return plan, err
+		}
+		est, ok := a.(assembler.TTCEstimator)
+		if !ok {
+			return plan, fmt.Errorf("core: %s offers no TTC estimation", name)
+		}
+		jobNodes := cfg.NodesPerMPIJob
+		rule := sge.SingleNode
+		if name == "contrail" {
+			jobNodes = cfg.ContrailNodes
+		} else if !a.Info().MultiNode() {
+			jobNodes = 1
+		}
+		if jobNodes > 1 {
+			rule = sge.FillUp
+		}
+		jobCores := cores
+		if b.PB == cloud.Serverless {
+			jobNodes, jobCores, rule = 1, 1, sge.SingleNode
+		}
+		for _, k := range kmers {
+			d, err := est.EstimateTTC(assembler.Request{
+				Params: assembler.Params{K: k, MinCoverage: cfg.MinCoverage},
+				Nodes:  jobNodes, CoresPerNode: jobCores,
+				FullScale: asmFS,
+			})
+			if err != nil {
+				return plan, fmt.Errorf("core: estimating %s k=%d: %w", name, k, err)
+			}
+			if name == "contrail" {
+				d += 60 * vclock.Second // SFA conversion
+			}
+			jobs = append(jobs, jobEst{name: name, jobNodes: jobNodes, rule: rule, d: d,
+				memGB: assembler.GraphMemoryGB(asmFS, jobNodes)})
+		}
+	}
+	if b.PB == cloud.Serverless {
+		nodes = 0
+		plan.AssemblyNodes = 0
+		var wall vclock.Duration
+		for _, j := range jobs {
+			w, err := fnStage(j.name+" assembly", 1, j.d, j.memGB)
+			if err != nil {
+				return plan, err
+			}
+			if w > wall {
+				wall = w
+			}
+		}
+		// The PB inputs migrate to the object store first.
+		d := copts.InterNode.Transfer(fs.PostPreprocessBytes)
+		plan.PB = wall
+		t = t.Add(d).Add(wall)
+	} else {
+		plan.AssemblyNodes = nodes
+		specs := make([]sge.NodeSpec, nodes)
+		for i := range specs {
+			specs[i] = sge.NodeSpec{Name: fmt.Sprintf("n%03d", i), Slots: cores, MemoryGB: it.MemoryGB}
+		}
+		sched, err := sge.New(specs)
+		if err != nil {
+			return plan, err
+		}
+		for _, j := range jobs {
+			if j.memGB > it.MemoryGB {
+				return plan, fmt.Errorf("core: plan infeasible: %s needs %.1f GB/node on %d node(s), %s offers %.1f GB",
+					j.name, j.memGB, j.jobNodes, it.Name, it.MemoryGB)
+			}
+			if _, err := sched.Submit(sge.JobSpec{
+				Name: j.name, Slots: j.jobNodes * cores, Rule: j.rule, Duration: j.d,
+			}, 0); err != nil {
+				return plan, err
+			}
+		}
+		plan.PB = vclock.Duration(sched.Makespan())
+		start := t
+		if cfg.Pattern != Conventional {
+			t = t.Add(boot) // boot/grow the PB workers
+			if cfg.Scheme == S1 || b.PA == cloud.Serverless {
+				t = t.Add(copts.InterNode.Transfer(fs.PostPreprocessBytes))
+			}
+		}
+		t = t.Add(plan.PB)
+		if cfg.Pattern != Conventional {
+			cost += vmWindow(b.PB, nodes, start, t)
+		}
+	}
+
+	// PC.
+	postModel := quant.DefaultCostModel()
+	pcMem := postModel.MemoryGB(fs)
+	pcRuns := 1
+	if cfg.ConditionB != nil {
+		pcRuns = 2
+	}
+	if b.PC == cloud.Serverless {
+		wall, err := fnStage("post-processing", 1, postModel.Duration(fs, 1)*vclock.Duration(pcRuns), pcMem)
+		if err != nil {
+			return plan, err
+		}
+		plan.PC = wall
+		t = t.Add(wall)
+	} else {
+		if pcMem > it.MemoryGB {
+			return plan, fmt.Errorf("core: plan infeasible: post-processing needs %.1f GB, %s offers %.1f GB",
+				pcMem, it.Name, it.MemoryGB)
+		}
+		start := t
+		if b.PB == cloud.Serverless && cfg.Pattern != Conventional {
+			t = t.Add(boot) // nothing to adopt after a serverless PB
+		}
+		plan.PC = postModel.Duration(fs, min(cores, 8)) * vclock.Duration(pcRuns)
+		t = t.Add(plan.PC)
+		if cfg.Pattern != Conventional {
+			cost += vmWindow(b.PC, 1, start, t)
+		}
+	}
+
+	if cfg.Pattern == Conventional {
+		// One cluster, sized for the whole workflow, from first boot to
+		// the end of PC, on PA's backend (the only pilot there is).
+		n := shards
+		if nodes > n {
+			n = nodes
+		}
+		cost += vmWindow(b.PA, n, vclock.Time(0).Add(plan.Transfer), t)
+	}
+
+	plan.TTC = vclock.Duration(t)
+	if reclaims > 0 {
+		// Each expected reclaim boots one replacement node and re-runs
+		// the work it interrupted (roughly half a boot window of rework).
+		over := vclock.Duration(reclaims * float64(boot))
+		plan.TTC += over
+		cost += price * over.Hours()
+	}
+	plan.CostUSD = cost
+	return plan, nil
+}
+
+// splitPieces reports how many parallel invocations a unit of duration
+// d needs under a per-invocation cap.
+func splitPieces(d, cap vclock.Duration) int {
+	if cap <= 0 || d <= cap {
+		return 1
+	}
+	return int(math.Ceil(float64(d) / float64(cap)))
+}
+
+// ExpandBackends crosses base with every per-stage backend assignment
+// drawn from the given set (all three backends when nil), skipping
+// combinations the runtime rejects (serverless stages under the
+// Conventional pattern). The base's own Backends field is overwritten.
+func ExpandBackends(base Config, backends []cloud.Backend) []Config {
+	if len(backends) == 0 {
+		backends = []cloud.Backend{cloud.OnDemand, cloud.Spot, cloud.Serverless}
+	}
+	var out []Config
+	for _, pa := range backends {
+		for _, pb := range backends {
+			for _, pc := range backends {
+				bk := StageBackends{PA: pa, PB: pb, PC: pc}
+				if base.Pattern == Conventional && bk.AnyServerless() {
+					continue
+				}
+				c := base
+				c.Backends = bk
+				out = append(out, c)
+			}
+		}
+	}
+	return out
 }
 
 // Optimize predicts every candidate configuration and returns the

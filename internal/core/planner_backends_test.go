@@ -1,0 +1,229 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rnascale/internal/cloud"
+)
+
+// backendCandidates is the planner grid the frontier tests sweep: both
+// matching schemes crossed with every per-stage backend assignment.
+func backendCandidates() []Config {
+	var out []Config
+	for _, scheme := range []MatchingScheme{S1, S2} {
+		base := tinyConfig()
+		base.EvaluateAgainstTruth = false
+		base.Scheme = scheme
+		out = append(out, ExpandBackends(base, nil)...)
+	}
+	return out
+}
+
+func TestExpandBackends(t *testing.T) {
+	base := tinyConfig()
+	all := ExpandBackends(base, nil)
+	if len(all) != 27 {
+		t.Errorf("full cross = %d configs, want 27", len(all))
+	}
+	seen := map[StageBackends]bool{}
+	for _, c := range all {
+		if seen[c.Backends] {
+			t.Errorf("duplicate assignment %v", c.Backends)
+		}
+		seen[c.Backends] = true
+	}
+	base.Pattern = Conventional
+	conv := ExpandBackends(base, nil)
+	if len(conv) != 8 {
+		t.Errorf("conventional cross = %d configs, want 8 (serverless excluded)", len(conv))
+	}
+	for _, c := range conv {
+		if c.Backends.AnyServerless() {
+			t.Errorf("conventional cross includes serverless: %v", c.Backends)
+		}
+	}
+	pair := ExpandBackends(tinyConfig(), []cloud.Backend{cloud.OnDemand, cloud.Spot})
+	if len(pair) != 8 {
+		t.Errorf("two-backend cross = %d configs, want 8", len(pair))
+	}
+}
+
+// The satellite property test: no plan Frontier returns may be
+// dominated by ANY candidate (not just by other frontier members), and
+// the output order is deterministic.
+func TestFrontierPropertyOverBackends(t *testing.T) {
+	ds := tinyDS(t)
+	candidates := backendCandidates()
+	frontier, err := Frontier(ds, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// Non-domination against every feasible candidate, dominance taken
+	// in the weak Pareto sense Frontier itself uses.
+	var feasible []Plan
+	for _, cfg := range candidates {
+		p, err := Predict(ds, cfg)
+		if err != nil {
+			continue
+		}
+		feasible = append(feasible, p)
+	}
+	if len(feasible) < 10 {
+		t.Fatalf("only %d/%d candidates feasible", len(feasible), len(candidates))
+	}
+	for _, f := range frontier {
+		for _, p := range feasible {
+			if p.TTC < f.TTC && p.CostUSD < f.CostUSD {
+				t.Errorf("frontier point %v dominated by candidate %v", f, p)
+			}
+		}
+	}
+	// The backend dimension must actually matter: the frontier spans
+	// more than one backend assignment.
+	assignments := map[StageBackends]bool{}
+	for _, f := range frontier {
+		assignments[f.Config.Backends] = true
+	}
+	if len(assignments) < 2 {
+		t.Errorf("frontier collapses to one backend assignment: %v", frontier)
+	}
+	// Deterministic output order: a second pass renders identically.
+	again, err := Frontier(ds, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(frontier) {
+		t.Fatalf("frontier size changed across calls: %d vs %d", len(frontier), len(again))
+	}
+	for i := range frontier {
+		if frontier[i].String() != again[i].String() {
+			t.Errorf("frontier order diverged at %d:\n%v\n%v", i, frontier[i], again[i])
+		}
+	}
+}
+
+func TestFrontierEdgeCases(t *testing.T) {
+	ds := tinyDS(t)
+	cases := []struct {
+		name       string
+		candidates []Config
+		wantErr    bool
+		wantLen    int
+	}{
+		{name: "empty", candidates: nil, wantErr: true},
+		{name: "single", candidates: []Config{tinyConfig()}, wantLen: 1},
+		{name: "all-infeasible", candidates: []Config{
+			func() Config { c := tinyConfig(); c.Assemblers = []string{"nope"}; return c }(),
+		}, wantErr: true},
+	}
+	for _, c := range cases {
+		frontier, err := Frontier(ds, c.candidates)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: no error (got %d plans)", c.name, len(frontier))
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if len(frontier) != c.wantLen {
+			t.Errorf("%s: %d plans, want %d", c.name, len(frontier), c.wantLen)
+		}
+	}
+	// A single candidate comes back verbatim.
+	single, err := Predict(ds, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier, err := Frontier(ds, []Config{tinyConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frontier[0].String() != single.String() {
+		t.Errorf("single-candidate frontier %v != its prediction %v", frontier[0], single)
+	}
+}
+
+// Backend-aware predictions must track the simulation the same way the
+// on-demand path does (tolerances widened: the spot walk and cold-start
+// bursts add variance the closed-form path doesn't have).
+func TestPredictTracksRunBackends(t *testing.T) {
+	ds := tinyDS(t)
+	for _, tc := range []struct {
+		name       string
+		backends   StageBackends
+		scheme     MatchingScheme
+		assemblers []string
+	}{
+		{name: "all-spot", backends: StageBackends{PA: cloud.Spot, PB: cloud.Spot, PC: cloud.Spot}, scheme: S2},
+		// Serverless PB runs each assembler on a 1-core allocation, where
+		// contrail's TTC estimator is at its weakest (its constant-volume
+		// compression model overshoots); validate the planner path with
+		// the tightly estimated tools instead.
+		{name: "all-serverless", backends: StageBackends{PA: cloud.Serverless, PB: cloud.Serverless, PC: cloud.Serverless},
+			scheme: S2, assemblers: []string{"ray", "abyss"}},
+		{name: "mixed", backends: StageBackends{PA: cloud.OnDemand, PB: cloud.Serverless, PC: cloud.Spot},
+			scheme: S1, assemblers: []string{"ray", "abyss"}},
+	} {
+		cfg := tinyConfig()
+		cfg.EvaluateAgainstTruth = false
+		cfg.Scheme = tc.scheme
+		cfg.Backends = tc.backends
+		if tc.assemblers != nil {
+			cfg.Assemblers = tc.assemblers
+		}
+		plan, err := Predict(ds, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		rep, err := Run(ds, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		ttcRatio := plan.TTC.Seconds() / rep.TTC.Seconds()
+		if ttcRatio < 0.5 || ttcRatio > 2.0 {
+			t.Errorf("%s: predicted TTC %v vs actual %v (ratio %.2f)", tc.name, plan.TTC, rep.TTC, ttcRatio)
+		}
+		costRatio := plan.CostUSD / rep.CostUSD
+		if costRatio < 0.4 || costRatio > 2.5 {
+			t.Errorf("%s: predicted cost $%.4f vs actual $%.4f (ratio %.2f)", tc.name, plan.CostUSD, rep.CostUSD, costRatio)
+		}
+		if plan.AssemblyNodes != rep.AssemblyNodes {
+			t.Errorf("%s: predicted %d PB nodes, actual %d", tc.name, plan.AssemblyNodes, rep.AssemblyNodes)
+		}
+		if !strings.Contains(plan.String(), "PA=") {
+			t.Errorf("%s: plan string lacks the backend assignment: %s", tc.name, plan)
+		}
+	}
+}
+
+func TestPredictSpotDiscountAndServerlessRejection(t *testing.T) {
+	ds := tinyDS(t)
+	od := tinyConfig()
+	od.EvaluateAgainstTruth = false
+	planOD, err := Predict(ds, od)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spot := od
+	spot.Backends = StageBackends{PA: cloud.Spot, PB: cloud.Spot, PC: cloud.Spot}
+	planSpot, err := Predict(ds, spot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planSpot.CostUSD >= planOD.CostUSD {
+		t.Errorf("predicted spot $%.2f not cheaper than on-demand $%.2f", planSpot.CostUSD, planOD.CostUSD)
+	}
+	conv := od
+	conv.Pattern = Conventional
+	conv.Backends = StageBackends{PB: cloud.Serverless}
+	if _, err := Predict(ds, conv); err == nil {
+		t.Error("conventional+serverless plan accepted")
+	}
+}

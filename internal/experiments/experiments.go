@@ -829,6 +829,69 @@ func AblationPlanner(sc Scale) (string, error) {
 	return b.String(), nil
 }
 
+// ---------------------------------------------------------------------------
+// Backend grid — spot / serverless backends and the cost–TTC frontier
+// ---------------------------------------------------------------------------
+
+// BackendRow is one Pareto-optimal backend assignment: the planner's
+// prediction plus the simulated run that validates it.
+type BackendRow struct {
+	Plan   core.Plan
+	Report *core.Report
+}
+
+// BackendGrid sweeps the per-stage execution-backend assignment — the
+// 3³ cross of on-demand / spot / serverless over PA, PB and PC, under
+// both matching schemes — asks the planner for the cost–TTC Pareto
+// frontier over the grid, then simulates every frontier point to
+// validate the prediction. The rendered table juxtaposes predicted and
+// simulated TTC and cost per frontier point, the comparison rnapipe's
+// -frontier flag prints plan-only.
+func BackendGrid(sc Scale) ([]BackendRow, string, error) {
+	ds, err := dataset(sc, simdata.BGlumae())
+	if err != nil {
+		return nil, "", err
+	}
+	var candidates []core.Config
+	for _, scheme := range []core.MatchingScheme{core.S1, core.S2} {
+		base := core.DefaultConfig()
+		base.Scheme = scheme
+		if sc == Quick {
+			base.ContrailNodes = 4
+		}
+		candidates = append(candidates, core.ExpandBackends(base, nil)...)
+	}
+	frontier, err := core.Frontier(ds, candidates)
+	if err != nil {
+		return nil, "", err
+	}
+	rows, err := sweepMap(len(frontier), func(i int) (BackendRow, error) {
+		cfg := frontier[i].Config
+		rep, err := core.Run(ds, cfg)
+		if err != nil {
+			return BackendRow{}, fmt.Errorf("backend grid %s/%v: %w", cfg.Backends, cfg.Scheme, err)
+		}
+		return BackendRow{Plan: frontier[i], Report: rep}, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Backend grid: cost–TTC frontier over execution backends, %s\n", ds.Profile.Organism)
+	fmt.Fprintf(&b, "(%d candidates: S1/S2 × {on-demand,spot,serverless} per stage; %d on the frontier)\n",
+		len(candidates), len(frontier))
+	fmt.Fprintf(&b, "%-42s %-3s %12s %9s %12s %9s\n",
+		"backends", "sch", "plan TTC", "plan $", "sim TTC", "sim $")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-42s %-3v %12v %9.2f %12v %9.2f\n",
+			r.Plan.Config.Backends, r.Plan.Config.Scheme,
+			r.Plan.TTC, r.Plan.CostUSD, r.Report.TTC, r.Report.CostUSD)
+	}
+	b.WriteString("the fast end of the frontier fans PB out as parallel function invocations;\n" +
+		"the cheap end rides the spot market (which, while calm, dominates on-demand)\n")
+	return rows, b.String(), nil
+}
+
 // AblationNetwork sweeps the MPI inter-node network for Ray's
 // scale-out sensitivity.
 func AblationNetwork(sc Scale) (string, error) {

@@ -234,6 +234,61 @@ func TestFig5SampleRunShape(t *testing.T) {
 	}
 }
 
+func TestBackendGridFrontier(t *testing.T) {
+	rows, s, err := BackendGrid(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("frontier has %d points, want at least 2", len(rows))
+	}
+	// Pareto shape: frontier rows come fastest-first, so predicted TTC
+	// ascends and predicted cost weakly descends along the table.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Plan.TTC < rows[i-1].Plan.TTC {
+			t.Errorf("frontier not TTC-sorted at row %d", i)
+		}
+		if rows[i].Plan.CostUSD > rows[i-1].Plan.CostUSD {
+			t.Errorf("frontier cost rises at row %d: $%.2f -> $%.2f",
+				i, rows[i-1].Plan.CostUSD, rows[i].Plan.CostUSD)
+		}
+	}
+	// The backend dimension matters: several assignments survive, and
+	// both non-default backends appear somewhere on the frontier.
+	assignments := map[string]bool{}
+	var sawSpot, sawFn bool
+	for _, r := range rows {
+		bk := r.Plan.Config.Backends
+		assignments[bk.String()] = true
+		sawSpot = sawSpot || bk.AnySpot()
+		sawFn = sawFn || bk.AnyServerless()
+	}
+	if len(assignments) < 2 {
+		t.Error("frontier collapsed to one backend assignment")
+	}
+	if !sawSpot || !sawFn {
+		t.Errorf("frontier lacks a spot or serverless point (spot=%v serverless=%v)", sawSpot, sawFn)
+	}
+	// Every frontier point was simulated, and the plan tracks the run
+	// (loose: the serverless single-core estimates carry known bias).
+	for _, r := range rows {
+		if r.Report == nil {
+			t.Fatalf("%s: frontier point not simulated", r.Plan.Config.Backends)
+		}
+		if ratio := r.Plan.TTC.Seconds() / r.Report.TTC.Seconds(); ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: plan TTC %v vs simulated %v (ratio %.2f)",
+				r.Plan.Config.Backends, r.Plan.TTC, r.Report.TTC, ratio)
+		}
+		if ratio := r.Plan.CostUSD / r.Report.CostUSD; ratio < 0.2 || ratio > 6 {
+			t.Errorf("%s: plan cost $%.2f vs simulated $%.2f (ratio %.2f)",
+				r.Plan.Config.Backends, r.Plan.CostUSD, r.Report.CostUSD, ratio)
+		}
+	}
+	if !strings.Contains(s, "frontier") || !strings.Contains(s, "sim TTC") {
+		t.Errorf("rendering lacks the expected headers:\n%s", s)
+	}
+}
+
 func TestAblations(t *testing.T) {
 	for name, fn := range map[string]func(Scale) (string, error){
 		"schemes":  AblationSchemes,

@@ -4,8 +4,9 @@
 //
 // Each kernel is one of the hot paths the ROADMAP's "raw speed" line
 // targets — k-mer counting and DBG construction, FASTA/FASTQ parsing,
-// the vclock slot scheduler, MPI collective rendezvous, journal
-// appends — run over a deterministic workload (a splitmix64-seeded
+// the vclock slot scheduler, MPI collective rendezvous, the spot
+// market's price walk, journal appends — run over a deterministic
+// workload (a splitmix64-seeded
 // synthetic genome, never math/rand), so that allocsPerOp and
 // bytesPerOp are stable across runs and only nsPerOp carries
 // machine noise. The gate (Compare) exploits that split: wall time
@@ -20,6 +21,7 @@ import (
 	"runtime"
 	"strings"
 
+	"rnascale/internal/cloud"
 	"rnascale/internal/dbg"
 	"rnascale/internal/journal"
 	"rnascale/internal/mpi"
@@ -258,6 +260,36 @@ func Kernels() []Kernel {
 					})
 					if err != nil {
 						panic(err)
+					}
+				}
+			},
+		},
+		{
+			// Spot-market price walk: the memoized per-AZ multiplicative
+			// walk plus the windowed averages and launch-time reclaim
+			// draws every spot bill and backend-aware plan funnels
+			// through. A fresh market per op keeps the memoization from
+			// turning later iterations into lookups.
+			Name:  "cloud.spot_walk",
+			Iters: 50,
+			Setup: func() func() {
+				it := cloud.C32XLarge
+				return func() {
+					m := cloud.NewSpotMarket(cloud.SpotOptions{Seed: 7})
+					var acc float64
+					for i := 0; i < 48; i++ {
+						from := vclock.Time(i) * vclock.Time(600)
+						to := from.Add(2 * vclock.Hour)
+						az := m.CheapestAZ(from)
+						acc += m.Price(it, az, from)
+						acc += m.AvgFrac(az, from, to)
+						acc += m.ExpectedReclaims(az, from, to)
+						if _, ok := m.ReclaimAt(fmt.Sprintf("i-%06d", i), az, from); ok {
+							acc++
+						}
+					}
+					if acc <= 0 {
+						panic("kernelbench: degenerate price walk")
 					}
 				}
 			},

@@ -27,6 +27,10 @@ type PilotDescription struct {
 	// later pilot to adopt. This is how the first pilot of an S2
 	// workflow behaves (it boots VMs, but the scheme owns them).
 	RetainVMs bool
+	// Backend is the purchasing model freshly-booted nodes use
+	// (on-demand or spot); ignored when adopting ReuseVMs, which keep
+	// the backend they were booted on.
+	Backend cloud.Backend
 }
 
 // Pilot is an acquired resource block: a cluster plus lifecycle
@@ -116,7 +120,7 @@ func (m *Manager) SubmitPilot(desc PilotDescription) (*Pilot, error) {
 		}
 		p.OwnsVMs = false
 	} else {
-		c, err = cluster.Build(m.provider, desc.InstanceType, desc.Nodes, m.copts)
+		c, err = cluster.BuildOn(m.provider, desc.InstanceType, desc.Nodes, desc.Backend, m.copts)
 		p.OwnsVMs = !desc.RetainVMs
 	}
 	if err != nil {

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	_ "rnascale/internal/assembler/all" // register the Table I assemblers
+	"rnascale/internal/cloud"
 	"rnascale/internal/core"
 	"rnascale/internal/faults"
 	"rnascale/internal/journal"
@@ -145,6 +146,45 @@ func Predict(ds *Dataset, cfg Config) (Plan, error) { return core.Predict(ds, cf
 // predicted objective.
 func Optimize(ds *Dataset, candidates []Config, obj Objective) (Plan, error) {
 	return core.Optimize(ds, candidates, obj)
+}
+
+// Backend selects how a stage buys its compute: fixed-price on-demand
+// VMs, reclaimable spot-market VMs, or serverless function
+// invocations.
+type Backend = cloud.Backend
+
+// Execution backends.
+const (
+	// OnDemand is the paper's fixed-price EC2 model (the default).
+	OnDemand = cloud.OnDemand
+	// Spot buys reclaimable capacity at a seed-deterministic market
+	// price; reclamation probability rises with the price level.
+	Spot = cloud.Spot
+	// Serverless runs work as function invocations with cold/warm
+	// starts, memory-tier pricing and a per-invocation duration cap.
+	Serverless = cloud.Serverless
+)
+
+// StageBackends assigns an execution backend to each pipeline stage
+// (Config.Backends). The zero value is all-on-demand.
+type StageBackends = core.StageBackends
+
+// ParseStageBackends parses a "PA=spot,PB=serverless,PC=od" list;
+// omitted stages stay on-demand, and a bare backend name applies to
+// every stage.
+func ParseStageBackends(s string) (StageBackends, error) { return core.ParseStageBackends(s) }
+
+// ExpandBackends crosses a base configuration with every per-stage
+// backend assignment drawn from the given set (all three backends when
+// nil), skipping combinations the runtime rejects.
+func ExpandBackends(base Config, backends []Backend) []Config {
+	return core.ExpandBackends(base, backends)
+}
+
+// Frontier predicts every candidate configuration and returns the
+// Pareto-optimal plans under (TTC, cost), sorted fastest-first.
+func Frontier(ds *Dataset, candidates []Config) ([]Plan, error) {
+	return core.Frontier(ds, candidates)
 }
 
 // FaultPlan is a parsed deterministic fault-injection plan; assign it
