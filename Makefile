@@ -88,9 +88,16 @@ sweep-determinism:
 # mid-PC), resumed from its write-ahead journal, and the resumed
 # report, metrics and Chrome trace must be byte-identical to an
 # uninterrupted run's — with zero journaled units re-executed. The
-# driver-crash chaos soak races resume against worker faults.
+# driver-crash chaos soak races resume against worker faults, and the
+# torn-tail test resumes through crash-shaped journal damage. The
+# whole contract is pinned at group-commit batch sizes 1 (fsync per
+# append), 8 and 64: batching changes when fsyncs happen, never what
+# resumes read.
 journal-determinism:
-	$(GO) test -race -run 'TestKillAndResumeByteIdentical|TestResumeOfCompleteJournal|TestChaosDriverCrashResumeSoak' ./internal/core
+	@for b in 1 8 64; do \
+		echo "journal-determinism: JOURNAL_BATCH=$$b"; \
+		JOURNAL_BATCH=$$b $(GO) test -race -run 'TestKillAndResumeByteIdentical|TestResumeOfCompleteJournal|TestResumeAfterTornTail|TestChaosDriverCrashResumeSoak' ./internal/core || exit 1; \
+	done
 
 # check is the gate a change must pass before review: static analysis
 # (go vet plus the rnavet determinism analyzer), the full test suite

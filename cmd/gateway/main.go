@@ -38,12 +38,15 @@ func main() {
 			"max submissions waiting for a worker before POSTs get 429")
 		journalDir = flag.String("journal-dir", "",
 			"persist the run table and per-run journals here; a restart re-adopts in-flight runs")
+		journalRotate = flag.Int("journal-rotate", 0,
+			"records per event-log segment before rotation (0 = journal default)")
 		debugAddr = flag.String("debug-addr", "",
 			"serve net/http/pprof here (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	srv := gateway.NewServer(*concurrency)
 	srv.SetMaxQueued(*maxQueued)
+	srv.SetJournalRotate(*journalRotate)
 	if *journalDir != "" {
 		if err := srv.EnableJournal(*journalDir); err != nil {
 			log.Fatal(err)

@@ -13,6 +13,11 @@
 // ("PA=spot,PB=serverless", or a bare "spot" for every stage);
 // -frontier sweeps every per-stage backend assignment and prints the
 // planner's cost–TTC Pareto frontier without running anything.
+//
+// -journal makes the run resumable (-journal-batch / -journal-maxwait
+// tune group-commit), -resume continues an interrupted run — repairing
+// a crash-torn journal tail first — and -verify-journal audits a
+// journal's tamper-evident hash chain without running anything.
 package main
 
 import (
@@ -50,8 +55,22 @@ func main() {
 		faultSeed  = flag.Uint64("seed", 1, "fault-injection and spot-market PRNG seed (same seed replays identically)")
 		journalOut = flag.String("journal", "", "write a resumable run journal to this file")
 		resumePath = flag.String("resume", "", "resume an interrupted run from its journal (pass the original run's flags too)")
+		jbatch     = flag.Int("journal-batch", 0, "group-commit batch size for journal appends (0 = default; 1 = fsync per append)")
+		jmaxwait   = flag.Duration("journal-maxwait", 0, "how long the journal flusher lingers for an unfilled batch (0 = flush immediately)")
+		verifyPath = flag.String("verify-journal", "", "verify a journal's tamper-evident hash chain, print the report and exit (0 = clean, 2 = damaged)")
 	)
 	flag.Parse()
+	if *verifyPath != "" {
+		vr, err := rnascale.VerifyJournal(*verifyPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("journal:", vr)
+		if !vr.Clean() {
+			os.Exit(2)
+		}
+		return
+	}
 	if *journalOut != "" && *resumePath != "" {
 		fatal(fmt.Errorf("-resume continues its journal in place; drop -journal"))
 	}
@@ -135,7 +154,8 @@ func main() {
 		rep, err = rnascale.Resume(ds, cfg, *resumePath)
 	} else {
 		if *journalOut != "" {
-			w, jerr := rnascale.CreateJournal(*journalOut)
+			w, jerr := rnascale.CreateJournalOptions(*journalOut,
+				rnascale.JournalOptions{BatchSize: *jbatch, MaxWait: *jmaxwait})
 			if jerr != nil {
 				fatal(jerr)
 			}
@@ -189,6 +209,10 @@ func main() {
 		if rep.Journal != nil && rep.Journal.Resumed {
 			fmt.Printf("resumed from journal: %d records and %d units replayed, %d units executed live\n",
 				rep.Journal.RecordsReplayed, rep.Journal.UnitsReplayed, rep.Journal.UnitsExecuted)
+			if rep.Journal.TailRepaired {
+				fmt.Printf("journal tail repaired: %d bytes of torn tail truncated before resume\n",
+					rep.Journal.TailTruncatedBytes)
+			}
 		}
 		if *verbose {
 			fmt.Println("\npilot timeline:")

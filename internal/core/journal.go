@@ -57,6 +57,13 @@ type JournalStats struct {
 	// journal without re-executing any work.
 	UnitsExecuted int
 	UnitsReplayed int
+	// TailRepaired is true when the resume found crash damage at the
+	// journal's tail — a torn record or a missing final newline — and
+	// repaired it before continuing; TailTruncatedBytes counts the
+	// unverifiable bytes dropped (0 when only the newline was
+	// restored). The truncated records' work simply re-executes.
+	TailRepaired       bool
+	TailTruncatedBytes int
 }
 
 // unitCodec serializes one unit's outputs into a journal payload and
@@ -174,6 +181,10 @@ func newRunJournal(pl *Pipeline, cfg Config, inj *faults.Injector) *runJournal {
 	}
 	armed := inj.DriverCrashTimes()
 	if cfg.Resume != nil {
+		if r := cfg.Resume.Repair; r != nil {
+			jr.stats.TailRepaired = true
+			jr.stats.TailTruncatedBytes = r.TruncatedBytes
+		}
 		for i := range cfg.Resume.Records {
 			rec := cfg.Resume.Records[i]
 			switch rec.Kind {

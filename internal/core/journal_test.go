@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -29,11 +31,24 @@ type runArtifacts struct {
 	timeline string
 }
 
+// journalBatch reads the group-commit batch size from JOURNAL_BATCH,
+// so `make journal-determinism` can run the kill/resume matrix across
+// batch sizes (1 degenerates to fsync-per-append). Empty or invalid
+// means the writer's default.
+func journalBatch() journal.Options {
+	if s := os.Getenv("JOURNAL_BATCH"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			return journal.Options{BatchSize: n}
+		}
+	}
+	return journal.Options{}
+}
+
 // journalRun executes one journaled pipeline run with a fresh
 // observability stack and returns the report, pipeline and error.
 func journalRun(t *testing.T, ds *simdata.Dataset, cfg Config, path string) (*Report, *Pipeline, error) {
 	t.Helper()
-	w, err := journal.Create(path)
+	w, err := journal.CreateOptions(path, journalBatch())
 	if err != nil {
 		t.Fatalf("create journal: %v", err)
 	}
@@ -74,10 +89,17 @@ func capture(t *testing.T, rep *Report, pl *Pipeline) runArtifacts {
 	return a
 }
 
-// journalBody returns a journal file's record lines after the header.
-// The header is excluded because its config digest covers the fault
-// plan string, which legitimately differs between a run armed with a
-// drivercrash rule and its crash-free twin.
+// chainRE matches a record's hash-chain field for stripping in
+// journal-body comparisons.
+var chainRE = regexp.MustCompile(`,"chain":"[0-9a-f]{64}"`)
+
+// journalBody returns a journal file's record lines after the header,
+// with the chain digests stripped. The header is excluded because its
+// config digest covers the fault plan string, which legitimately
+// differs between a run armed with a drivercrash rule and its
+// crash-free twin — and since every record's chain digest folds in
+// the previous one, that single header delta cascades into every
+// chain value, so the chains are stripped before comparison too.
 func journalBody(t *testing.T, path string) string {
 	t.Helper()
 	b, err := os.ReadFile(path)
@@ -88,7 +110,7 @@ func journalBody(t *testing.T, path string) string {
 	if len(lines) != 2 {
 		t.Fatalf("journal %s has no records after the header", path)
 	}
-	return lines[1]
+	return chainRE.ReplaceAllString(lines[1], "")
 }
 
 // TestKillAndResumeByteIdentical is the acceptance scenario: run once
@@ -241,6 +263,161 @@ func TestKillAndResumeByteIdentical(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestResumeAfterTornTail is the bugfix acceptance: a crashed run
+// whose journal tail is damaged the way real crashes damage it — half
+// a record torn off, or the final record's newline lost — must still
+// resume to a byte-identical report. The newline-less shape used to
+// corrupt the file outright: the old reader accepted the tail as
+// valid, and the O_APPEND writer fused the next record onto the same
+// line.
+func TestResumeAfterTornTail(t *testing.T) {
+	ds, err := simdata.GenerateCached(simdata.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	base := chaosConfig()
+
+	clean, plClean, err := journalRun(t, ds, base, filepath.Join(dir, "clean.journal"))
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	want := capture(t, clean, plClean)
+	wantBody := journalBody(t, filepath.Join(dir, "clean.journal"))
+
+	sp := plClean.Obs().Tracer.Find(obs.KindStage, "PB")
+	if sp == nil {
+		t.Fatal("no PB stage span in clean run")
+	}
+	crashAt := float64(sp.Start.Add(sp.Duration() / 2))
+
+	damage := []struct {
+		name      string
+		maim      func(t *testing.T, path string)
+		truncated bool // expect truncated bytes (vs newline repair)
+		recrash   bool // repair re-arms the drivercrash: needs a second resume
+	}{
+		// The group-commit crash shape: the batch write got its complete
+		// lines down plus the start of one more record.
+		{"torn-json-tail", func(t *testing.T, path string) {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.Write([]byte(`{"seq":999,"kind":"unit","vti`)); err != nil {
+				t.Fatal(err)
+			}
+		}, true, false},
+		// The fsync raced the crash: the final record's newline never
+		// reached disk. This is the shape that used to fuse records.
+		{"newline-less-tail", func(t *testing.T, path string) {
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, st.Size()-1); err != nil {
+				t.Fatal(err)
+			}
+		}, false, false},
+		// Half the final record itself is gone. Repair drops it, which
+		// rewinds the journal behind the armed drivercrash time, so the
+		// crash faithfully fires once more at the re-reached checkpoint
+		// before a second resume completes.
+		{"torn-last-record", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lastNL := bytes.LastIndexByte(b[:len(b)-1], '\n')
+			keep := lastNL + 1 + (len(b)-lastNL-1)/2
+			if err := os.Truncate(path, int64(keep)); err != nil {
+				t.Fatal(err)
+			}
+		}, true, true},
+	}
+	for _, d := range damage {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			path := filepath.Join(dir, d.name+".journal")
+			cfg := base
+			plan, err := faults.ParseSpec(fmt.Sprintf("drivercrash:at=%g", crashAt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.FaultPlan = plan
+			cfg.FaultSeed = 7
+			_, _, err = journalRun(t, ds, cfg, path)
+			var dce *DriverCrashError
+			if !errors.As(err, &dce) {
+				t.Fatalf("crash run returned %v, want DriverCrashError", err)
+			}
+			survived := len(mustInspect(t, path).Records)
+
+			d.maim(t, path)
+
+			cfg.Obs = obs.New()
+			rep, pl, err := ResumePipeline(ds, cfg, path)
+			if d.recrash {
+				if !errors.As(err, &dce) {
+					t.Fatalf("resume over %s returned %v, want the re-armed drivercrash", d.name, err)
+				}
+				cfg.Obs = obs.New()
+				rep, pl, err = ResumePipeline(ds, cfg, path)
+			}
+			if err != nil {
+				t.Fatalf("resume over %s: %v", d.name, err)
+			}
+			st := rep.Journal
+			if st == nil || !st.Resumed {
+				t.Fatalf("resumed stats: %+v", st)
+			}
+			if !d.recrash {
+				// Single-resume shapes surface the repair in the stats
+				// (the re-crash shapes report it on their first, crashed
+				// attempt instead).
+				if !st.TailRepaired {
+					t.Fatalf("resumed stats do not report the tail repair: %+v", st)
+				}
+				if d.truncated {
+					if st.TailTruncatedBytes == 0 {
+						t.Errorf("torn tail reported 0 truncated bytes")
+					}
+					if st.RecordsReplayed != survived {
+						t.Errorf("replayed %d records, want %d", st.RecordsReplayed, survived)
+					}
+				} else if st.TailTruncatedBytes != 0 {
+					t.Errorf("newline repair truncated %d bytes", st.TailTruncatedBytes)
+				}
+			}
+
+			got := capture(t, rep, pl)
+			if got.trace != want.trace || got.summary != want.summary || got.timeline != want.timeline {
+				t.Error("resumed artifacts differ from uninterrupted run's")
+			}
+			if got.metrics != want.metrics {
+				t.Errorf("metrics differ:\n--- resumed\n%s\n--- clean\n%s", got.metrics, want.metrics)
+			}
+			if body := journalBody(t, path); body != wantBody {
+				t.Error("final journal body differs from uninterrupted run's")
+			}
+			if vr, err := journal.Verify(path); err != nil || !vr.Clean() {
+				t.Errorf("final journal does not verify: %v %s", err, vr)
+			}
+		})
+	}
+}
+
+// mustInspect opens a journal tolerantly or fails the test.
+func mustInspect(t *testing.T, path string) *journal.Log {
+	t.Helper()
+	lg, err := journal.Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lg
 }
 
 // TestResumeOfCompleteJournal replays a finished journal end to end:

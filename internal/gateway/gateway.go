@@ -13,6 +13,7 @@
 //	POST /api/runs/{id}/resume  resume a failed run from its journal
 //	GET  /api/runs/{id}/transcripts   assembled transcripts (FASTA)
 //	GET  /api/runs/{id}/trace   Chrome trace_event JSON for the run
+//	GET  /api/runs/{id}/proof   journal chain verification + Merkle proof
 //	GET  /api/metrics           Prometheus text exposition
 //
 // Submitted runs execute asynchronously on a fixed pool of worker
@@ -37,7 +38,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -48,6 +48,7 @@ import (
 	_ "rnascale/internal/assembler/all" // make every assembler submittable
 	"rnascale/internal/core"
 	"rnascale/internal/faults"
+	"rnascale/internal/journal"
 	"rnascale/internal/obs"
 	"rnascale/internal/seq"
 	"rnascale/internal/simdata"
@@ -188,8 +189,9 @@ type Server struct {
 	workerWG      sync.WaitGroup // the fixed worker pool
 	runsWG        sync.WaitGroup // submitted-but-not-terminal runs
 	metrics       *obs.Registry
-	journalDir    string   // set by EnableJournal
-	events        *os.File // the gateway.jsonl event log, nil when not journaling
+	journalDir    string             // set by EnableJournal
+	events        *journal.Segmented // segmented event log, nil when not journaling
+	rotateEvery   int                // event-log segment size, 0 = journal default
 }
 
 // NewServer returns a gateway executing at most maxConcurrent runs at
@@ -224,6 +226,15 @@ func (s *Server) SetMaxQueued(n int) {
 	}
 	s.mu.Lock()
 	s.maxQueued = n
+	s.mu.Unlock()
+}
+
+// SetJournalRotate sets how many records each event-log segment holds
+// before rotation (0 keeps the journal package default). Call before
+// EnableJournal; it has no effect on an already-open event log.
+func (s *Server) SetJournalRotate(n int) {
+	s.mu.Lock()
+	s.rotateEvery = n
 	s.mu.Unlock()
 }
 
@@ -460,6 +471,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// marked open, so a user can watch a run take shape.
 		w.Header().Set("Content-Type", "application/json")
 		_ = o.Tracer.WriteChromeTrace(w)
+		return
+	}
+	if len(parts) == 2 && parts[1] == "proof" {
+		s.handleProof(w, r, parts[0])
 		return
 	}
 	writeErr(w, http.StatusNotFound, "unknown resource")

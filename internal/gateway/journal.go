@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"os"
 	"path/filepath"
+	"strconv"
 
 	"rnascale/internal/core"
 	"rnascale/internal/journal"
@@ -13,37 +13,32 @@ import (
 	"rnascale/internal/simdata"
 )
 
-// gatewayEvent is one line of <dir>/gateway.jsonl: a run's state after
-// a transition. Replay is last-wins per id, so the file is a write-
-// ahead log of the run table and the bounded queue (queued/running
-// views are in-flight work; terminal views are history).
-type gatewayEvent struct {
-	ID   string  `json:"id"`
-	View RunView `json:"view"`
-}
-
-// eventsFileName is the gateway's own event log inside the journal
-// directory; per-run pipeline journals live next to it as <id>.journal.
-const eventsFileName = "gateway.jsonl"
+// eventsPrefix names the gateway's event-log segments inside the
+// journal directory (<dir>/gateway-NNNNNN.journal); per-run pipeline
+// journals live next to them as <id>.journal. Each event record's
+// Note is the run id and its payload the run's RunView after a
+// transition; replay is last-wins per id, so the log is a write-ahead
+// image of the run table and the bounded queue.
+const eventsPrefix = "gateway"
 
 // EnableJournal makes the gateway durable across its own loss: every
-// run-state transition is appended to <dir>/gateway.jsonl and every
-// run executes under a per-run pipeline journal <dir>/<id>.journal.
-// If dir already holds a previous gateway's journal, its run table is
-// rebuilt first and in-flight work is re-adopted: queued runs are
-// re-enqueued, and runs that were mid-flight resume from their
-// pipeline journals (counted by MetricRunsResumed) instead of
-// starting over. Call once, before accepting submissions.
+// run-state transition is appended to the segmented, hash-chained
+// event log under dir, and every run executes under a per-run
+// pipeline journal <dir>/<id>.journal. If dir already holds a
+// previous gateway's journal, its run table is rebuilt first and
+// in-flight work is re-adopted: queued runs are re-enqueued, and runs
+// that were mid-flight resume from their pipeline journals (counted
+// by MetricRunsResumed) instead of starting over — a torn tail on a
+// crashed run's journal is repaired, not fatal. The rebuilt table is
+// then compacted into a fresh snapshot segment, so the event log's
+// disk footprint resets on every restart instead of growing with the
+// gateway's whole history. Call once, before accepting submissions.
 func (s *Server) EnableJournal(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	path := filepath.Join(dir, eventsFileName)
-	prior, err := readEvents(path)
-	if err != nil {
-		return err
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	s.mu.Lock()
+	rotate := s.rotateEvery
+	s.mu.Unlock()
+	seg, prior, err := journal.OpenSegmented(dir, eventsPrefix,
+		journal.SegmentedOptions{RotateEvery: rotate})
 	if err != nil {
 		return err
 	}
@@ -51,20 +46,29 @@ func (s *Server) EnableJournal(dir string) error {
 	s.mu.Lock()
 	if s.events != nil {
 		s.mu.Unlock()
-		f.Close()
+		seg.Close()
 		return fmt.Errorf("gateway: journal already enabled")
 	}
 	if len(s.runs) > 0 {
 		s.mu.Unlock()
-		f.Close()
+		seg.Close()
 		return fmt.Errorf("gateway: enable the journal before accepting submissions")
 	}
 	s.journalDir = dir
-	s.events = f
+	s.events = seg
 
-	var adopted, resumed int
-	for _, ev := range prior {
-		id := ev.ID
+	for _, rec := range prior {
+		if rec.Kind != journal.KindEvent || rec.Note == "" {
+			continue
+		}
+		var view RunView
+		if err := json.Unmarshal(rec.Payload, &view); err != nil {
+			s.events = nil
+			s.mu.Unlock()
+			seg.Close()
+			return fmt.Errorf("gateway: event record for %s: %w", rec.Note, err)
+		}
+		id := rec.Note
 		if _, ok := s.runs[id]; !ok {
 			s.runs[id] = &run{}
 			s.order = append(s.order, id)
@@ -73,8 +77,9 @@ func (s *Server) EnableJournal(dir string) error {
 				s.nextID = n
 			}
 		}
-		s.runs[id].view = ev.View
+		s.runs[id].view = view
 	}
+	var adopted, resumed int
 	for _, id := range s.order {
 		rn := s.runs[id]
 		switch rn.view.Status {
@@ -96,9 +101,10 @@ func (s *Server) EnableJournal(dir string) error {
 		rn.journalPath = filepath.Join(dir, id+".journal")
 		if rn.view.Status == StatusRunning {
 			// The previous gateway died with this run in flight; if its
-			// pipeline journal survived, continue from it instead of
-			// re-executing the completed work.
-			if _, err := journal.Open(rn.journalPath); err == nil {
+			// pipeline journal survived — even with a crash-torn tail,
+			// which the tolerant read accepts and resume repairs —
+			// continue from it instead of re-executing completed work.
+			if _, err := journal.Inspect(rn.journalPath); err == nil {
 				rn.resumeFrom = rn.journalPath
 				resumed++
 			}
@@ -110,6 +116,24 @@ func (s *Server) EnableJournal(dir string) error {
 		s.runsWG.Add(1)
 		adopted++
 		s.logEventLocked(id)
+	}
+	if len(prior) > 0 {
+		// Fold the whole inherited history into one snapshot segment:
+		// the current view of every run, in table order.
+		snapshot := make([]journal.Record, 0, len(s.order))
+		for _, id := range s.order {
+			b, err := json.Marshal(s.runs[id].view)
+			if err != nil {
+				continue
+			}
+			snapshot = append(snapshot, journal.Record{Kind: journal.KindEvent, Note: id, Payload: b})
+		}
+		if err := seg.Compact(snapshot); err != nil {
+			s.events = nil
+			s.mu.Unlock()
+			seg.Close()
+			return fmt.Errorf("gateway: compact event log: %w", err)
+		}
 	}
 	s.mu.Unlock()
 
@@ -124,62 +148,21 @@ func (s *Server) EnableJournal(dir string) error {
 	return nil
 }
 
-// readEvents replays a gateway event log. A torn trailing line (the
-// previous gateway died mid-append) is tolerated; anything else
-// malformed is an error.
-func readEvents(path string) ([]gatewayEvent, error) {
-	b, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	var out []gatewayEvent
-	lines := splitLines(b)
-	for i, line := range lines {
-		var ev gatewayEvent
-		if err := json.Unmarshal(line, &ev); err != nil || ev.ID == "" {
-			if i == len(lines)-1 {
-				break
-			}
-			return nil, fmt.Errorf("gateway: %s line %d: %v", eventsFileName, i+1, err)
-		}
-		out = append(out, ev)
-	}
-	return out, nil
-}
-
-func splitLines(b []byte) [][]byte {
-	var out [][]byte
-	start := 0
-	for i, c := range b {
-		if c == '\n' {
-			if i > start {
-				out = append(out, b[start:i])
-			}
-			start = i + 1
-		}
-	}
-	if start < len(b) {
-		out = append(out, b[start:])
-	}
-	return out
-}
-
-// logEventLocked appends the run's current view to the event log and
-// syncs it. Callers hold s.mu.
+// logEventLocked appends the run's current view to the event log;
+// the record is durable (group-committed) when Append returns.
+// Callers hold s.mu, which also orders same-run events for last-wins
+// replay. The event writer is fail-stop: after an append error the
+// log stops growing and replay falls back to the last durable state,
+// which re-adoption re-executes — so errors are not fatal here.
 func (s *Server) logEventLocked(id string) {
 	if s.events == nil {
 		return
 	}
-	b, err := json.Marshal(gatewayEvent{ID: id, View: s.runs[id].view})
+	b, err := json.Marshal(s.runs[id].view)
 	if err != nil {
 		return
 	}
-	if _, err := s.events.Write(append(b, '\n')); err == nil {
-		_ = s.events.Sync()
-	}
+	_, _ = s.events.Append(journal.Record{Kind: journal.KindEvent, Note: id, Payload: b})
 }
 
 // executeRun runs one pipeline run, honoring the run's journal and
@@ -205,7 +188,9 @@ func executeRun(cfg core.Config, ds *simdata.Dataset, journalPath, resumeFrom st
 // journal is resumable; everything else — still queued or running
 // (including a resume already accepted), finished, journal complete,
 // or no journal at all — answers 409 Conflict, so a double resume
-// cannot duplicate work.
+// cannot duplicate work. The journal is read tolerantly: a crash-torn
+// tail does not disqualify a run from resuming (the resume repairs
+// it), only a journal with no verifiable prefix at all does.
 func (s *Server) handleResume(w http.ResponseWriter, id string) {
 	s.mu.Lock()
 	rn, ok := s.runs[id]
@@ -220,7 +205,7 @@ func (s *Server) handleResume(w http.ResponseWriter, id string) {
 		writeErr(w, http.StatusConflict, "run %s is %s, not resumable", id, status)
 		return
 	}
-	lg, err := journal.Open(rn.journalPath)
+	lg, err := journal.Inspect(rn.journalPath)
 	if err != nil {
 		s.mu.Unlock()
 		writeErr(w, http.StatusConflict, "run %s has no surviving journal", id)
@@ -254,4 +239,53 @@ func (s *Server) handleResume(w http.ResponseWriter, id string) {
 		"Runs re-adopted from a surviving pipeline journal after gateway loss.", nil).Inc()
 	s.cond.Signal()
 	writeJSON(w, http.StatusAccepted, view)
+}
+
+// handleProof serves a run's provenance: the journal's chain
+// verification report (records, chain head, Merkle root, first bad
+// seq if damaged) plus a Merkle inclusion proof for one record —
+// ?seq=N, defaulting to the last record. A client that pins the
+// chain head or root when a run finishes can later audit that no
+// record was rewritten, without downloading the journal.
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request, id string) {
+	s.mu.Lock()
+	rn, ok := s.runs[id]
+	var path string
+	if ok {
+		path = rn.journalPath
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no run %q", id)
+		return
+	}
+	if path == "" {
+		writeErr(w, http.StatusConflict, "run %s has no journal (gateway journaling is disabled)", id)
+		return
+	}
+	vr, err := journal.Verify(path)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "run %s has no surviving journal: %v", id, err)
+		return
+	}
+	lg, err := journal.Inspect(path)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "run %s: %v", id, err)
+		return
+	}
+	seq := len(lg.Records) - 1
+	if qs := r.URL.Query().Get("seq"); qs != "" {
+		n, err := strconv.Atoi(qs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad seq %q", qs)
+			return
+		}
+		seq = n
+	}
+	proof, err := lg.Proof(seq)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"verify": vr, "proof": proof})
 }

@@ -8,12 +8,25 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
 	"rnascale/internal/journal"
 	"rnascale/internal/obs"
 )
+
+// lastSegmentPath returns the highest-indexed event-log segment — the
+// one a dying gateway was appending to.
+func lastSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, eventsPrefix+"-*.journal"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no event-log segments in %s: %v", dir, err)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1]
+}
 
 // newJournaledServer builds a gateway persisting to dir.
 func newJournaledServer(t *testing.T, dir string) (*Server, *httptest.Server) {
@@ -71,8 +84,10 @@ func TestGatewayRestartReAdoptsInFlightRun(t *testing.T) {
 
 	// Simulate the gateway dying before it could log the failure: drop
 	// the trailing "failed" event so the log ends with the run running
-	// — exactly what a SIGKILL mid-run leaves behind.
-	evPath := filepath.Join(dir, eventsFileName)
+	// — exactly what a SIGKILL mid-run leaves behind. Chopping the log
+	// at a record boundary leaves a chain-valid prefix, so the
+	// replacement gateway adopts it without repair.
+	evPath := lastSegmentPath(t, dir)
 	b, err := os.ReadFile(evPath)
 	if err != nil {
 		t.Fatal(err)
@@ -138,23 +153,27 @@ func TestGatewayRestartKeepsHistoryAndQueue(t *testing.T) {
 	s1.Close()
 	ts1.Close()
 
-	// Append a run the dead gateway accepted but never started.
-	ev := gatewayEvent{ID: "run-00009", View: RunView{
+	// Append a run the dead gateway accepted but never started, by
+	// continuing its event-log segment — a handcrafted line would not
+	// carry a valid chain digest.
+	b, err := json.Marshal(RunView{
 		ID: "run-00009", Status: StatusQueued,
 		Request: RunRequest{Profile: "tiny", Assemblers: []string{"ray"}},
-	}}
-	b, err := json.Marshal(ev)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, eventsFileName), os.O_WRONLY|os.O_APPEND, 0o644)
+	_, ew, err := journal.Continue(lastSegmentPath(t, dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Write(append(b, '\n')); err != nil {
+	if _, err := ew.Append(journal.Record{Kind: journal.KindEvent, Note: "run-00009", Payload: b}); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	if err := ew.Close(); err != nil {
+		t.Fatal(err)
+	}
+	preCompact := lastSegmentPath(t, dir)
 
 	s2, ts2 := newJournaledServer(t, dir)
 	s2.Wait()
@@ -179,6 +198,69 @@ func TestGatewayRestartKeepsHistoryAndQueue(t *testing.T) {
 		t.Errorf("next id %s, want run-00010", next.ID)
 	}
 	s2.Wait()
+
+	// Restart compacted the inherited history into a fresh snapshot
+	// segment: the segment the dead gateway wrote is gone, and the
+	// live one chain-verifies clean.
+	if _, err := os.Stat(preCompact); !os.IsNotExist(err) {
+		t.Errorf("pre-restart segment %s survived compaction (err=%v)", filepath.Base(preCompact), err)
+	}
+	if vr, err := journal.Verify(lastSegmentPath(t, dir)); err != nil || !vr.Clean() {
+		t.Errorf("compacted event log does not verify: %v %s", err, vr)
+	}
+}
+
+// TestProofEndpoint: a finished run's proof endpoint serves a clean
+// chain-verification report plus a Merkle inclusion proof that checks
+// out against the reported root — and rejects out-of-range seqs.
+func TestProofEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newJournaledServer(t, dir)
+	view := submitRun(t, ts, RunRequest{Profile: "tiny", Assemblers: []string{"ray"}})
+	s.Wait()
+
+	var body struct {
+		Verify journal.VerifyResult `json:"verify"`
+		Proof  journal.Proof        `json:"proof"`
+	}
+	if code := getJSON(t, ts.URL+"/api/runs/"+view.ID+"/proof", &body); code != 200 {
+		t.Fatalf("proof status %d", code)
+	}
+	if !body.Verify.Clean() {
+		t.Fatalf("finished run's journal not clean: %s", body.Verify)
+	}
+	if body.Verify.Root != body.Proof.Root {
+		t.Fatalf("proof root %s != verify root %s", body.Proof.Root, body.Verify.Root)
+	}
+	if err := journal.VerifyInclusion(body.Proof); err != nil {
+		t.Errorf("served proof does not verify: %v", err)
+	}
+	lg, err := journal.Open(filepath.Join(dir, view.ID+".journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := journal.RecordLeaf(lg.Records[body.Proof.Seq])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf != body.Proof.Leaf {
+		t.Errorf("proof leaf %.12s… does not match the journal record's leaf %.12s…", body.Proof.Leaf, leaf)
+	}
+
+	// A specific record by seq.
+	if code := getJSON(t, ts.URL+"/api/runs/"+view.ID+"/proof?seq=0", &body); code != 200 {
+		t.Fatalf("proof?seq=0 status %d", code)
+	}
+	if body.Proof.Seq != 0 {
+		t.Errorf("proof seq %d, want 0", body.Proof.Seq)
+	}
+	var errBody map[string]any
+	if code := getJSON(t, ts.URL+"/api/runs/"+view.ID+"/proof?seq=9999", &errBody); code != http.StatusBadRequest {
+		t.Errorf("out-of-range seq status %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/runs/run-99999/proof", &errBody); code != http.StatusNotFound {
+		t.Errorf("unknown run proof status %d, want 404", code)
+	}
 }
 
 // TestResumeEndpoint pins the resume endpoint's contract: one resume

@@ -1,15 +1,40 @@
-// Package journal implements a deterministic write-ahead run journal.
+// Package journal implements a deterministic, tamper-evident
+// write-ahead run journal.
 //
 // A journal is a sequence of JSON lines, one Record per line. The
 // pipeline appends a record at every stage boundary and at every unit
 // completion, capturing the virtual clock, the accrued cost and a
-// digest of the stage artifacts; each append is flushed (and synced
-// when file-backed) before the run proceeds, so the prefix on disk is
-// always a consistent cut of the run. Resuming replays that prefix —
-// completed units return their journaled results instead of
+// digest of the stage artifacts; each append is durable (flushed and,
+// when file-backed, fsynced) before Append returns, so the prefix on
+// disk is always a consistent cut of the run. Resuming replays that
+// prefix — completed units return their journaled results instead of
 // re-executing — and then continues appending, so the journal of a
 // crashed-and-resumed run converges to the record sequence of an
 // uninterrupted one.
+//
+// Two mechanisms make the journal production-shaped:
+//
+//   - Group commit. Concurrent Append calls coalesce into one
+//     write+fsync (see Options.BatchSize / Options.MaxWait), so the
+//     per-append durability contract is unchanged while the fsync
+//     cost is amortized across appenders. A writer that hits a
+//     write or sync error is poisoned: every later Append returns
+//     the original error instead of appending after possibly-partial
+//     bytes (fail-stop).
+//
+//   - A hash chain. Every record's chain digest (SHA-256) covers its
+//     own content and the previous record's chain digest, so any
+//     single-byte change to a committed record breaks verification
+//     from that record onward. The chain makes torn-tail handling
+//     principled: Continue truncates a torn or newline-less tail to
+//     the last chain-verified record instead of refusing to resume
+//     or silently fusing records, Verify pinpoints the first bad
+//     sequence number, and per-log Merkle roots provide compact
+//     inclusion proofs (Log.Proof) for auditable run provenance.
+//
+// Long-lived callers (the gateway's event log) use Segmented, which
+// rotates records across chained segment files and compacts obsolete
+// segments so the journal directory does not grow without bound.
 //
 // The package is deliberately free of pipeline knowledge: records
 // carry opaque payloads, and the replay semantics live in the caller
@@ -19,18 +44,16 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"os"
-	"sync"
-
-	"rnascale/internal/obs/perf"
 )
 
 // Schema identifies the journal line format.
-const Schema = "rnascale.journal/v1"
+const Schema = "rnascale.journal/v2"
 
 // Record kinds, in the order they appear in a complete journal.
 const (
@@ -39,11 +62,18 @@ const (
 	KindUnit       = "unit"        // a compute unit completed (payload = its outputs)
 	KindStageEnd   = "stage-end"   // a pipeline stage ended (digest = stage artifacts)
 	KindComplete   = "complete"    // the run returned (note records the outcome)
+	// KindEvent is a generic state-transition record for journals that
+	// log a table rather than a pipeline (the gateway's event log).
+	KindEvent = "event"
 )
 
 // Record is one journal line. VTime and CostUSD snapshot the virtual
 // clock and the accrued bill at the moment the record was written;
 // for unit records VTime is the unit's virtual completion time.
+// Chain is stamped by the Writer (callers leave it empty): the
+// SHA-256 hash chain digest covering this record's content and the
+// previous record's chain digest. It must be the last field so the
+// Writer can splice it into the marshalled body.
 type Record struct {
 	Seq             int             `json:"seq"`
 	Kind            string          `json:"kind"`
@@ -57,101 +87,57 @@ type Record struct {
 	Digest          string          `json:"digest,omitempty"`
 	Note            string          `json:"note,omitempty"`
 	Payload         json.RawMessage `json:"payload,omitempty"`
+	Chain           string          `json:"chain,omitempty"`
 }
 
 // Digest returns the content digest used for journal payloads and
-// stage artifacts: 64-bit FNV-1a in hex.
+// stage artifacts: 64-bit FNV-1a in hex. The tamper-evidence story
+// does not rest on it — that is the SHA-256 chain — it is the cheap
+// per-payload checksum core's replay verification compares.
 func Digest(b []byte) string {
 	h := fnv.New64a()
 	h.Write(b)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// Writer appends records to a journal. Appends are serialized and,
-// when the journal is file-backed, synced to disk before returning:
-// a record handed to Append survives a crash of the writer's process.
-type Writer struct {
-	mu   sync.Mutex
-	w    io.Writer
-	file *os.File // non-nil when file-backed; synced per append
-	seq  int
-}
-
-// NewWriter returns a Writer over an arbitrary sink (no durability
-// beyond the sink itself). Used by tests and in-memory callers.
-func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
-
-// Create creates (truncating) a file-backed journal at path.
-func Create(path string) (*Writer, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, err
-	}
-	return &Writer{w: f, file: f}, nil
-}
-
-// Continue opens an existing journal for resumption: it reads the
-// surviving prefix and returns it alongside a Writer that appends
-// after it, numbering records where the prefix left off.
-func Continue(path string) (*Log, *Writer, error) {
-	lg, err := Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, nil, err
-	}
-	return lg, &Writer{w: f, file: f, seq: len(lg.Records)}, nil
-}
-
-// Append stamps the record's sequence number, writes it as one JSON
-// line and flushes it. The stamped record is returned.
-func (w *Writer) Append(rec Record) (Record, error) {
-	defer perf.Region("journal.append").End()
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	rec.Seq = w.seq
-	line, err := json.Marshal(rec)
-	if err != nil {
-		return rec, fmt.Errorf("journal: marshal record %d: %w", rec.Seq, err)
-	}
-	line = append(line, '\n')
-	if _, err := w.w.Write(line); err != nil {
-		return rec, fmt.Errorf("journal: append record %d: %w", rec.Seq, err)
-	}
-	if w.file != nil {
-		if err := w.file.Sync(); err != nil {
-			return rec, fmt.Errorf("journal: sync record %d: %w", rec.Seq, err)
-		}
-	}
-	w.seq++
-	return rec, nil
-}
-
-// Seq returns the sequence number the next Append will stamp.
-func (w *Writer) Seq() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.seq
-}
-
-// Close closes the underlying file, if any.
-func (w *Writer) Close() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.file != nil {
-		return w.file.Close()
-	}
-	return nil
-}
-
 // Log is a journal read back from storage.
 type Log struct {
 	Records []Record
+	// Repair is non-nil when a tolerant open (Inspect, Continue) found
+	// tail damage: it describes what was dropped or fixed. Strict
+	// reads (Open, Read) never set it — they error instead.
+	Repair *Repair
 }
 
-// Open reads the journal at path.
+// Repair describes the damage a tolerant open found at a journal's
+// tail and, for Continue, repaired in place.
+type Repair struct {
+	// TruncatedBytes counts unverifiable trailing bytes beyond the
+	// last chain-verified record (a torn write, or a tampered suffix).
+	TruncatedBytes int `json:"truncatedBytes,omitempty"`
+	// RepairedNewline is set when the final record was intact but had
+	// lost its trailing newline (a crash between the payload write and
+	// the newline reaching disk would otherwise fuse the next append
+	// onto the same line).
+	RepairedNewline bool `json:"repairedNewline,omitempty"`
+	// Reason is the verification failure that ended the verified
+	// prefix, empty when only the newline was missing.
+	Reason string `json:"reason,omitempty"`
+}
+
+func (r *Repair) String() string {
+	if r == nil {
+		return "clean"
+	}
+	if r.RepairedNewline {
+		return "restored missing final newline"
+	}
+	return fmt.Sprintf("truncated %d unverifiable tail bytes (%s)", r.TruncatedBytes, r.Reason)
+}
+
+// Open reads the journal at path strictly: any damage — a torn tail,
+// a missing newline, a broken chain — is an error. Use Inspect for a
+// tolerant read or Continue to repair and resume.
 func Open(path string) (*Log, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -161,34 +147,37 @@ func Open(path string) (*Log, error) {
 	return Read(f)
 }
 
-// Read parses a journal from r, verifying sequence numbers and the
-// payload digest of every payload-bearing record.
+// Read parses a journal from r, verifying sequence numbers, payload
+// digests and the hash chain of every record. The line loop reads
+// through a bufio.Reader, not a Scanner, so records are not subject
+// to any token-size cap; read and verification errors name the
+// record index they occurred at.
 func Read(r io.Reader) (*Log, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	br := bufio.NewReaderSize(r, 1<<16)
 	var recs []Record
-	for sc.Scan() {
-		line := sc.Bytes()
+	prev := ChainSeed()
+	for {
+		line, err := br.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return nil, fmt.Errorf("journal: record %d: read: %w", len(recs), err)
+		}
+		line = bytes.TrimSuffix(line, []byte("\n"))
 		if len(line) == 0 {
-			continue
-		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("journal: record %d: %w", len(recs), err)
-		}
-		if rec.Seq != len(recs) {
-			return nil, fmt.Errorf("journal: record %d carries seq %d", len(recs), rec.Seq)
-		}
-		if len(rec.Payload) > 0 {
-			if got := Digest(rec.Payload); got != rec.Digest {
-				return nil, fmt.Errorf("journal: record %d payload digest %s does not match stored %s",
-					rec.Seq, got, rec.Digest)
+			if atEOF {
+				break
 			}
+			return nil, fmt.Errorf("journal: record %d: blank line", len(recs))
+		}
+		rec, err := verifyLine(line, len(recs), prev)
+		if err != nil {
+			return nil, err
 		}
 		recs = append(recs, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("journal: read: %w", err)
+		prev = rec.Chain
+		if atEOF {
+			break
+		}
 	}
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("journal: empty")
@@ -197,6 +186,95 @@ func Read(r io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("journal: first record is %q, want %q", recs[0].Kind, KindHeader)
 	}
 	return &Log{Records: recs}, nil
+}
+
+// Inspect reads the journal at path tolerantly: the chain-verified
+// prefix is returned and any damaged tail is reported in Log.Repair
+// instead of failing the read. The file is not modified (Continue is
+// the mutating variant). Inspect fails only when no verifiable
+// record prefix exists at all.
+func Inspect(path string) (*Log, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res := scan(b)
+	return res.log(path)
+}
+
+// scanResult is the outcome of a tolerant scan over journal bytes.
+type scanResult struct {
+	recs []Record
+	// goodEnd is the byte offset just past the last chain-verified
+	// record (past its newline when it had one).
+	goodEnd int
+	// missingNewline is set when the final verified record reached
+	// goodEnd without a trailing newline.
+	missingNewline bool
+	// reason is the verification failure that ended the prefix, empty
+	// when the whole input verified.
+	reason string
+	total  int
+}
+
+// scan walks journal bytes, verifying records until the first
+// failure. Everything after the last verified record is the
+// (possibly empty) damaged tail.
+func scan(b []byte) scanResult {
+	res := scanResult{total: len(b)}
+	prev := ChainSeed()
+	off := 0
+	for off < len(b) {
+		nl := bytes.IndexByte(b[off:], '\n')
+		var line []byte
+		complete := nl >= 0
+		if complete {
+			line = b[off : off+nl]
+		} else {
+			line = b[off:]
+		}
+		if len(line) == 0 {
+			res.reason = fmt.Sprintf("record %d: blank line", len(res.recs))
+			return res
+		}
+		rec, err := verifyLine(line, len(res.recs), prev)
+		if err != nil {
+			res.reason = err.Error()
+			return res
+		}
+		res.recs = append(res.recs, rec)
+		prev = rec.Chain
+		if complete {
+			off += nl + 1
+		} else {
+			off = len(b)
+			res.missingNewline = true
+		}
+		res.goodEnd = off
+	}
+	return res
+}
+
+// log folds a scan into a Log, failing when nothing verified.
+func (res scanResult) log(path string) (*Log, error) {
+	if len(res.recs) == 0 {
+		if res.reason != "" {
+			return nil, fmt.Errorf("journal: %s: no verifiable records (%s)", path, res.reason)
+		}
+		return nil, fmt.Errorf("journal: empty")
+	}
+	if res.recs[0].Kind != KindHeader {
+		return nil, fmt.Errorf("journal: first record is %q, want %q", res.recs[0].Kind, KindHeader)
+	}
+	lg := &Log{Records: res.recs}
+	if res.goodEnd < res.total || res.missingNewline {
+		lg.Repair = &Repair{
+			TruncatedBytes:  res.total - res.goodEnd,
+			RepairedNewline: res.missingNewline,
+			Reason:          res.reason,
+		}
+	}
+	return lg, nil
 }
 
 // Header returns the journal's header record.
@@ -208,6 +286,15 @@ func (l *Log) Header() Record { return l.Records[0] }
 // is resumable.
 func (l *Log) Complete() bool {
 	return l.Records[len(l.Records)-1].Kind == KindComplete
+}
+
+// ChainHead returns the chain digest of the journal's last record —
+// the value an auditor pins to detect any later rewrite of history.
+func (l *Log) ChainHead() string {
+	if len(l.Records) == 0 {
+		return ChainSeed()
+	}
+	return l.Records[len(l.Records)-1].Chain
 }
 
 // LastVTime returns the largest virtual time recorded in the journal.

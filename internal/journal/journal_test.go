@@ -103,22 +103,45 @@ func TestContinueAppendsAfterPrefix(t *testing.T) {
 	}
 }
 
+// chainedLine builds one stored journal line whose chain digest is
+// valid for the record's (possibly deliberately wrong) content, so a
+// test can reach the seq/digest checks without tripping the chain
+// check first. It returns the line (newline included) and the
+// record's chain digest for chaining the next line.
+func chainedLine(t *testing.T, rec Record, prev string) ([]byte, string) {
+	t.Helper()
+	body, err := chainBody(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := chainNext(prev, body)
+	return spliceChain(body, chain), chain
+}
+
 func TestReadRejectsCorruption(t *testing.T) {
+	header, headChain := chainedLine(t, Record{Kind: KindHeader}, ChainSeed())
+	noHeader, _ := chainedLine(t, Record{Kind: KindUnit}, ChainSeed())
+	badSeq, _ := chainedLine(t, Record{Seq: 5, Kind: KindStageStart}, headChain)
+	badDigest, _ := chainedLine(t, Record{Seq: 1, Kind: KindUnit,
+		Digest: "0000000000000000", Payload: []byte(`{"a":1}`)}, headChain)
+	// A record rewritten after commit keeps a stale chain digest.
+	tampered, _ := chainedLine(t, Record{Seq: 1, Kind: KindStageStart, Stage: "PA"}, headChain)
+	tampered = bytes.Replace(tampered, []byte(`"PA"`), []byte(`"PB"`), 1)
+
 	cases := []struct {
-		name, body, want string
+		name, want string
+		body       []byte
 	}{
-		{"empty", "", "empty"},
-		{"garbage", "not json\n", "record 0"},
-		{"no-header", `{"seq":0,"kind":"unit","vtime":0,"costUSD":0}` + "\n", "first record"},
-		{"bad-seq", `{"seq":0,"kind":"header","vtime":0,"costUSD":0}` + "\n" +
-			`{"seq":5,"kind":"stage-start","vtime":0,"costUSD":0}` + "\n", "carries seq 5"},
-		{"bad-digest", `{"seq":0,"kind":"header","vtime":0,"costUSD":0}` + "\n" +
-			`{"seq":1,"kind":"unit","vtime":0,"costUSD":0,"digest":"0000000000000000","payload":{"a":1}}` + "\n",
-			"digest"},
+		{"empty", "empty", nil},
+		{"garbage", "record 0", []byte("not json\n")},
+		{"no-header", "first record", noHeader},
+		{"bad-seq", "carries seq 5", append(append([]byte{}, header...), badSeq...)},
+		{"bad-digest", "digest", append(append([]byte{}, header...), badDigest...)},
+		{"tampered", "chain digest does not verify", append(append([]byte{}, header...), tampered...)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := Read(bytes.NewReader([]byte(tc.body)))
+			_, err := Read(bytes.NewReader(tc.body))
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("error %v, want substring %q", err, tc.want)
 			}
@@ -127,11 +150,12 @@ func TestReadRejectsCorruption(t *testing.T) {
 }
 
 func TestTornTrailingLineIsAnError(t *testing.T) {
-	// A crash between write and sync can leave a torn final line; Read
-	// refuses it rather than silently resuming from ambiguous state.
+	// A crash between write and sync can leave a torn final line; the
+	// strict Open refuses it (Continue is the repairing path).
 	path := filepath.Join(t.TempDir(), "run.journal")
-	body := `{"seq":0,"kind":"header","vtime":0,"costUSD":0}` + "\n" + `{"seq":1,"kind":"stage`
-	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+	header, _ := chainedLine(t, Record{Kind: KindHeader}, ChainSeed())
+	body := append(header, `{"seq":1,"kind":"stage`...)
+	if err := os.WriteFile(path, body, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(path); err == nil {

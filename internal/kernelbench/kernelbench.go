@@ -20,6 +20,7 @@ import (
 	"io"
 	"runtime"
 	"strings"
+	"sync"
 
 	"rnascale/internal/cloud"
 	"rnascale/internal/dbg"
@@ -313,6 +314,45 @@ func Kernels() []Kernel {
 						}); err != nil {
 							panic(err)
 						}
+					}
+				}
+			},
+		},
+		{
+			// Contended group commit: 8 goroutines racing Append through
+			// the batch-64 flusher, the coalescing path the gateway's
+			// event log and concurrent pipeline stages exercise. Sync is
+			// a no-op so the kernel measures batching overhead (queueing,
+			// wakeups, chain computation), not disk latency.
+			Name:  "journal.append_contended",
+			Iters: 50,
+			Setup: func() func() {
+				payload := genome(7, 256)
+				digest := journal.Digest(payload)
+				return func() {
+					w := journal.NewSyncedWriter(io.Discard, func() error { return nil },
+						journal.Options{BatchSize: 64})
+					var wg sync.WaitGroup
+					for g := 0; g < 8; g++ {
+						wg.Add(1)
+						go func(g int) {
+							defer wg.Done()
+							for i := 0; i < 32; i++ {
+								if _, err := w.Append(journal.Record{
+									Kind:   journal.KindUnit,
+									Stage:  "PB",
+									Unit:   fmt.Sprintf("unit-%d", g),
+									VTime:  float64(i),
+									Digest: digest,
+								}); err != nil {
+									panic(err)
+								}
+							}
+						}(g)
+					}
+					wg.Wait()
+					if err := w.Close(); err != nil {
+						panic(err)
 					}
 				}
 			},
