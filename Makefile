@@ -12,7 +12,7 @@ COVER_SPECS = internal/cloud:85 internal/pilot:80 internal/core:80
 FUZZ_TARGETS = FuzzParseFasta FuzzParseFastq FuzzParseSFA
 FUZZ_TIME ?= 10s
 
-.PHONY: all build test vet lint race cover fuzz-smoke sweep-determinism journal-determinism check bench bench-gate bench-baseline clean
+.PHONY: all build test vet lint race cover fuzz-smoke sweep-determinism journal-determinism overload-determinism check bench bench-gate bench-baseline clean
 
 # Coverage profiles land here instead of littering the repo root.
 BUILD_DIR = build
@@ -99,12 +99,26 @@ journal-determinism:
 		JOURNAL_BATCH=$$b $(GO) test -race -run 'TestKillAndResumeByteIdentical|TestResumeOfCompleteJournal|TestResumeAfterTornTail|TestChaosDriverCrashResumeSoak' ./internal/core || exit 1; \
 	done
 
+# overload-determinism pins the overload-protection contract: the
+# chaos soak (deadlines, cancellation, retry budgets, breakers, and
+# their interactions with reclaim/flake storms) must produce
+# byte-identical artifacts for the same seed at every sweep worker
+# count, and a cancelled or deadline-exceeded run must resume from its
+# journal as a pure replay reproducing the same truncated report.
+# Pinned across 2 worker counts × 2 group-commit batch sizes: neither
+# scheduling nor fsync batching may leak into overload decisions.
+overload-determinism:
+	@for w in 1 4; do for b in 1 64; do \
+		echo "overload-determinism: OVERLOAD_WORKERS=$$w JOURNAL_BATCH=$$b"; \
+		OVERLOAD_WORKERS=$$w JOURNAL_BATCH=$$b $(GO) test -race -run 'TestChaosOverloadSoak|TestDeadlineCancelResumeByteIdentical|TestBreakerConvertsReclaimStorm' ./internal/core || exit 1; \
+	done; done
+
 # check is the gate a change must pass before review: static analysis
 # (go vet plus the rnavet determinism analyzer), the full test suite
 # under the race detector, the coverage floors, the sweep determinism
 # contract, the journal resume contract, a fuzz smoke pass and the
 # kernel benchmark regression gate.
-check: vet lint race cover sweep-determinism journal-determinism fuzz-smoke bench-gate
+check: vet lint race cover sweep-determinism journal-determinism overload-determinism fuzz-smoke bench-gate
 
 # bench regenerates the paper tables at quick scale and refreshes
 # BENCH_results.json (per-stage TTC/cost snapshots, plus the pass's

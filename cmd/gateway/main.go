@@ -40,12 +40,15 @@ func main() {
 			"persist the run table and per-run journals here; a restart re-adopts in-flight runs")
 		journalRotate = flag.Int("journal-rotate", 0,
 			"records per event-log segment before rotation (0 = journal default)")
+		brownout = flag.Duration("brownout", 0,
+			"queue-wait watermark beyond which arrivals shed the lowest-priority queued run (0 disables)")
 		debugAddr = flag.String("debug-addr", "",
 			"serve net/http/pprof here (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	srv := gateway.NewServer(*concurrency)
 	srv.SetMaxQueued(*maxQueued)
+	srv.SetBrownout(*brownout)
 	srv.SetJournalRotate(*journalRotate)
 	if *journalDir != "" {
 		if err := srv.EnableJournal(*journalDir); err != nil {

@@ -18,6 +18,12 @@
 // tune group-commit), -resume continues an interrupted run — repairing
 // a crash-torn journal tail first — and -verify-journal audits a
 // journal's tamper-evident hash chain without running anything.
+//
+// -deadline imposes a virtual-time deadline (remaining work is
+// cancelled at the cutoff), -retry-budget caps run-wide unit retries,
+// and -max-cost refuses to start a run whose predicted bill exceeds
+// the budget. A run cut off at its deadline, or refused by the cost
+// preflight, exits with code 3.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 
 	"rnascale"
 	"rnascale/internal/obs"
+	"rnascale/internal/vclock"
 )
 
 func main() {
@@ -58,6 +65,9 @@ func main() {
 		jbatch     = flag.Int("journal-batch", 0, "group-commit batch size for journal appends (0 = default; 1 = fsync per append)")
 		jmaxwait   = flag.Duration("journal-maxwait", 0, "how long the journal flusher lingers for an unfilled batch (0 = flush immediately)")
 		verifyPath = flag.String("verify-journal", "", "verify a journal's tamper-evident hash chain, print the report and exit (0 = clean, 2 = damaged)")
+		deadline   = flag.Duration("deadline", 0, "virtual-time run deadline, e.g. 2h30m (0 = none); a run cut off at the deadline exits 3")
+		retryBudg  = flag.Int("retry-budget", 0, "run-wide unit retry budget (0 = unlimited); over-budget retries fail the stage")
+		maxCost    = flag.Float64("max-cost", 0, "refuse to run when the predicted bill exceeds this USD budget (exit 3)")
 	)
 	flag.Parse()
 	if *verifyPath != "" {
@@ -112,6 +122,17 @@ func main() {
 		}
 		cfg.Backends = bk
 	}
+	if *deadline < 0 {
+		fatal(fmt.Errorf("negative -deadline %v", *deadline))
+	}
+	if *retryBudg < 0 {
+		fatal(fmt.Errorf("negative -retry-budget %d", *retryBudg))
+	}
+	if *maxCost < 0 {
+		fatal(fmt.Errorf("negative -max-cost %v", *maxCost))
+	}
+	cfg.Deadline = vclock.Duration(deadline.Seconds())
+	cfg.RetryBudget = *retryBudg
 	// The seed drives the fault plan AND the spot market's price walk,
 	// so it applies whenever either consumer is configured — a spot run
 	// without faults must still replay the same market.
@@ -146,6 +167,19 @@ func main() {
 		fmt.Println("a-priori plan (no execution):")
 		fmt.Println(" ", plan)
 		return
+	}
+	if *maxCost > 0 {
+		// Admission-style preflight: a run the planner prices over
+		// budget is refused before buying any compute.
+		plan, perr := rnascale.Predict(ds, cfg)
+		if perr != nil {
+			fatal(perr)
+		}
+		if plan.CostUSD > *maxCost {
+			fmt.Fprintf(os.Stderr, "rnapipe: %s: predicted cost $%.2f exceeds -max-cost $%.2f\n",
+				rnascale.OutcomeShed, plan.CostUSD, *maxCost)
+			os.Exit(3)
+		}
 	}
 	o := obs.New()
 	cfg.Obs = o
@@ -223,6 +257,15 @@ func main() {
 		if crashed && *journalOut != "" {
 			fmt.Fprintf(os.Stderr, "rnapipe: journal survives at %s; rerun with the same flags plus -resume %s\n",
 				*journalOut, *journalOut)
+		}
+		// A deadline/cancellation cutoff is a distinct, scriptable
+		// outcome: the truncated report above is valid as far as it
+		// goes, and exit 3 separates "ran out of deadline" from a
+		// pipeline failure's exit 1.
+		var ce *rnascale.CutoffError
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "rnapipe: %s: %v\n", ce.Outcome, err)
+			os.Exit(3)
 		}
 		fatal(err)
 	}

@@ -187,6 +187,11 @@ type Provider struct {
 	// the corresponding option is unset.
 	spot *SpotMarket
 	faas *Faas
+
+	// breaker, when set, observes per-backend failures (spot reclaims,
+	// serverless attempt failures) so callers can route around a
+	// tripped backend; nil = no breaker.
+	breaker *CircuitBreaker
 }
 
 // Interruption is a scheduled involuntary VM loss (an injected crash
@@ -241,6 +246,14 @@ func (p *Provider) SpotMarket() *SpotMarket { return p.spot }
 // Serverless exposes the provider's function backend (nil when not
 // configured).
 func (p *Provider) Serverless() *Faas { return p.faas }
+
+// SetBreaker attaches a per-backend circuit breaker; the provider
+// feeds it spot-reclaim failures and clean spot terminations. Nil
+// detaches it.
+func (p *Provider) SetBreaker(cb *CircuitBreaker) { p.breaker = cb }
+
+// Breaker exposes the attached circuit breaker (nil when none).
+func (p *Provider) Breaker() *CircuitBreaker { return p.breaker }
 
 // Clock exposes the provider's virtual clock.
 func (p *Provider) Clock() *vclock.Clock { return p.clock }
@@ -411,6 +424,11 @@ func (p *Provider) Terminate(vms ...*VM) {
 		vm.state = VMTerminated
 		vm.TerminatedAt = vclock.Max(now, vm.RunningAt)
 		p.countTermination(vm)
+		if vm.Backend == Spot {
+			// A spot VM that reached voluntary termination was never
+			// reclaimed — evidence the market is healthy.
+			p.breaker.RecordSuccess(Spot)
+		}
 	}
 }
 
@@ -448,6 +466,9 @@ func (p *Provider) ApplyInterruption(iv *Interruption) bool {
 	p.countInterruption(vm, iv.Class)
 	if iv.FromPlan {
 		p.opts.Faults.CountInjected(iv.Class)
+	}
+	if vm.Backend == Spot {
+		p.breaker.RecordFailure(Spot)
 	}
 	return true
 }

@@ -187,6 +187,33 @@ type Config struct {
 	// Journal via Resume/ResumePipeline, which also verify the journal
 	// belongs to this config.
 	Resume *journal.Log
+	// Deadline, when >0, is the run's virtual-time deadline, measured
+	// from the run start. Once the virtual clock reaches it no new unit
+	// attempt starts: remaining units cancel cleanly, the journal gets
+	// a cancelled record, and Run returns a *CutoffError with
+	// Report.Outcome = OutcomeDeadlineExceeded. 0 = no deadline.
+	Deadline vclock.Duration
+	// CancelAt, when >0, is an operator cancellation point in virtual
+	// time — the same cutoff machinery as Deadline, surfacing as
+	// Report.Outcome = OutcomeCancelled. When both are set the earlier
+	// one wins. 0 = never.
+	CancelAt vclock.Duration
+	// RetryBudget, when >0, caps unit restarts across the whole run: a
+	// shared virtual-time token bucket is consulted before every retry,
+	// and an over-budget retry fails its stage instead of resubmitting
+	// (bounding retry storms under correlated failure waves). 0 keeps
+	// the pre-budget behaviour: retries limited only by per-unit
+	// policies.
+	RetryBudget int
+	// RetryBudgetRefill is the virtual time per replenished budget
+	// token (0 = the budget never refills).
+	RetryBudgetRefill vclock.Duration
+	// Breaker, when non-nil, enables the per-backend circuit breaker:
+	// a wave of spot reclaims or serverless failures trips that backend
+	// open and subsequent stages fall back to on-demand until a
+	// half-open probe (after the virtual-time cooldown) succeeds. Nil
+	// disables the breaker entirely.
+	Breaker *cloud.BreakerOptions
 }
 
 // StageRetryPolicies carries one unit retry policy per pipeline
@@ -315,6 +342,41 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Outcome classifies how a run ended, beyond error/no-error: overload
+// protection distinguishes work that was *refused* or *cut off* from
+// work that *failed*.
+type Outcome string
+
+const (
+	// OutcomeComplete is a run that finished every stage.
+	OutcomeComplete Outcome = "complete"
+	// OutcomeDeadlineExceeded is a run cut off by Config.Deadline.
+	OutcomeDeadlineExceeded Outcome = "deadline_exceeded"
+	// OutcomeShed is work refused or dropped by admission control
+	// before (or instead of) running — used by the gateway's brownout
+	// and by preflight cost rejection; the pipeline itself never
+	// produces it.
+	OutcomeShed Outcome = "shed"
+	// OutcomeCancelled is a run cut off by Config.CancelAt.
+	OutcomeCancelled Outcome = "cancelled"
+)
+
+// CutoffError is returned by Run when the run crossed its virtual-time
+// cutoff (deadline or cancellation point): remaining units were
+// canceled cleanly and the truncated report is valid as far as it
+// goes.
+type CutoffError struct {
+	// Outcome is OutcomeDeadlineExceeded or OutcomeCancelled.
+	Outcome Outcome
+	// At is the virtual time the cutoff was detected; Cutoff is the
+	// configured cutoff it crossed.
+	At, Cutoff vclock.Time
+}
+
+func (e *CutoffError) Error() string {
+	return fmt.Sprintf("core: run %s: virtual time %v crossed cutoff %v", e.Outcome, e.At, e.Cutoff)
+}
+
 // StageReport is the accounting for one pipeline stage.
 type StageReport struct {
 	// Name is PA, PB or PC (plus synthetic stages like "transfer").
@@ -385,6 +447,10 @@ type Report struct {
 	// Journal summarizes the run's write-ahead journal activity (nil
 	// when the run was not journaled).
 	Journal *JournalStats
+	// Outcome classifies the ending: OutcomeComplete on success,
+	// OutcomeDeadlineExceeded/OutcomeCancelled when the run crossed its
+	// cutoff, and empty for a plain stage failure.
+	Outcome Outcome
 }
 
 // RecoveryReport aggregates what the fault plan did to a run and what

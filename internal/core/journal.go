@@ -124,6 +124,15 @@ func configDigest(cfg Config, ds *simdata.Dataset) string {
 		// (and their journals) stay valid.
 		io.WriteString(h, "|backends:"+cfg.Backends.String())
 	}
+	if cfg.Deadline > 0 || cfg.CancelAt > 0 || cfg.RetryBudget > 0 || cfg.Breaker != nil {
+		// Folded in only when any overload knob is set, so digests of
+		// pre-overload configs (and their journals) stay valid.
+		fmt.Fprintf(h, "|overload:%v:%v:%d:%v", cfg.Deadline, cfg.CancelAt,
+			cfg.RetryBudget, cfg.RetryBudgetRefill)
+		if cfg.Breaker != nil {
+			fmt.Fprintf(h, ":breaker=%d,%v", cfg.Breaker.Threshold, cfg.Breaker.Cooldown)
+		}
+	}
 	if cfg.ConditionB != nil {
 		fmt.Fprintf(h, "|condB:%d:%t:", len(cfg.ConditionB.Reads), cfg.ConditionB.Paired)
 		for _, r := range cfg.ConditionB.Reads {
@@ -151,11 +160,12 @@ type runJournal struct {
 
 	// Replay state, built from the resume prefix. Unit records are
 	// keyed by stage+unit; stage and lifecycle records by kind+stage.
-	pendingUnits    map[string][]journal.Record
-	pendingStage    map[string]journal.Record
-	pendingHeader   *journal.Record
-	pendingComplete *journal.Record
-	pendingCount    int
+	pendingUnits     map[string][]journal.Record
+	pendingStage     map[string]journal.Record
+	pendingHeader    *journal.Record
+	pendingComplete  *journal.Record
+	pendingCancelled *journal.Record
+	pendingCount     int
 
 	codecs       map[string]unitCodec
 	stageDigests map[string][]string
@@ -192,6 +202,8 @@ func newRunJournal(pl *Pipeline, cfg Config, inj *faults.Injector) *runJournal {
 				jr.pendingHeader = &rec
 			case journal.KindComplete:
 				jr.pendingComplete = &rec
+			case journal.KindCancelled:
+				jr.pendingCancelled = &rec
 			case journal.KindUnit:
 				k := unitKey(rec.Stage, rec.Unit)
 				jr.pendingUnits[k] = append(jr.pendingUnits[k], rec)
@@ -347,6 +359,30 @@ func (jr *runJournal) stageEnd(name, note string) {
 		} else {
 			jr.append(journal.Record{Kind: journal.KindStageEnd, Stage: name, VTime: vt, CostUSD: cost,
 				Digest: combined, Note: note})
+		}
+	}
+	jr.maybeCrash(vt)
+}
+
+// cancelled checkpoints a run cut off at its deadline or cancellation
+// point. On resume the replayed truncation must land at the same
+// virtual time, cost and outcome — the journal of a cancelled run
+// resumes to the same truncated report byte-for-byte.
+func (jr *runJournal) cancelled(outcome string) {
+	if jr == nil {
+		return
+	}
+	vt, cost := float64(jr.pl.clock.Now()), jr.pl.provider.TotalCost()
+	if jr.recording() {
+		if rec := jr.pendingCancelled; rec != nil {
+			jr.pendingCancelled = nil
+			jr.verify(*rec, vt, cost, "")
+			if rec.Note != outcome {
+				jr.drift("cancelled record outcome %q does not match replayed %q", rec.Note, outcome)
+			}
+			jr.consumed()
+		} else {
+			jr.append(journal.Record{Kind: journal.KindCancelled, VTime: vt, CostUSD: cost, Note: outcome})
 		}
 	}
 	jr.maybeCrash(vt)

@@ -42,6 +42,13 @@ type Pipeline struct {
 	// checkpoints; nil when the run is neither journaled nor resumed
 	// and no drivercrash rule is armed.
 	jr *runJournal
+
+	// budget is the run-wide retry token bucket (nil = unlimited);
+	// cutoff is the virtual time past which no new attempt may start
+	// (0 = none), and cutoffOutcome says which config knob set it.
+	budget        *pilot.RetryBudget
+	cutoff        vclock.Time
+	cutoffOutcome Outcome
 }
 
 // New builds a pipeline with a fresh simulated cloud.
@@ -86,6 +93,24 @@ func New(cfg Config) *Pipeline {
 	}
 	if cfg.Journal != nil || cfg.Resume != nil || len(inj.DriverCrashTimes()) > 0 {
 		pl.jr = newRunJournal(pl, cfg, inj)
+	}
+	if cfg.RetryBudget > 0 {
+		pl.budget = pilot.NewRetryBudget(cfg.RetryBudget, cfg.RetryBudgetRefill)
+	}
+	// The run clock starts at 0, so durations from the config are
+	// absolute cutoff times; when both are set the earlier wins.
+	if cfg.Deadline > 0 {
+		pl.cutoff = vclock.Time(cfg.Deadline)
+		pl.cutoffOutcome = OutcomeDeadlineExceeded
+	}
+	if cfg.CancelAt > 0 && (pl.cutoff == 0 || vclock.Time(cfg.CancelAt) < pl.cutoff) {
+		pl.cutoff = vclock.Time(cfg.CancelAt)
+		pl.cutoffOutcome = OutcomeCancelled
+	}
+	if cfg.Breaker != nil {
+		cb := cloud.NewCircuitBreaker(clock, *cfg.Breaker)
+		cb.SetMetrics(o.Metrics)
+		provider.SetBreaker(cb)
 	}
 	return pl
 }
@@ -162,8 +187,9 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 
 	// --- PA: pre-processing ---
 	preModel := preprocess.DefaultCostModel()
+	paBackend, paFallback := pl.routeBackend(cfg.Backends.PA)
 	paType := cfg.InstanceType
-	if cfg.Backends.PA == cloud.Serverless {
+	if paBackend == cloud.Serverless {
 		paType = "serverless"
 	} else if cfg.Pattern == DistributedDynamic {
 		it, err := ChooseInstanceType(pl.provider, preModel.MemoryGB(fs), 8)
@@ -188,7 +214,10 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	paScope := pl.beginStage("PA")
 	paScope.attr(obs.AttrInstanceType, paType)
 	paScope.attr(obs.AttrNodes, fmt.Sprintf("%d", paNodes))
-	pa, err := pl.firstStage("PA", paType, paNodes, cfg.Backends.PA)
+	if pl.cutoffReached() {
+		return pl.cutoffCancel(rep, paScope, "PA", "", pl.clock.Now())
+	}
+	pa, err := pl.firstStage("PA", paType, paNodes, paBackend)
 	if err != nil {
 		err = fmt.Errorf("core: launching PA: %w", err)
 		paScope.fail(err)
@@ -253,6 +282,9 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 		return rep, err
 	}
 	for _, u := range paUnits {
+		if pl.canceledAtCutoff(u) {
+			return pl.cutoffCancel(rep, paScope, "PA", pa.id(), paStart, pa)
+		}
 		if u.State() != pilot.UnitDone {
 			rep.Stages = append(rep.Stages, StageReport{Name: "PA", Pilot: pa.id(), Start: paStart, End: pl.clock.Now(), Note: "FAILED"})
 			err := fmt.Errorf("core: PA pre-processing failed on %s: %w", paType, u.Err)
@@ -290,7 +322,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	paScope.end()
 	rep.Stages = append(rep.Stages, StageReport{
 		Name: "PA", Pilot: pa.id(), Start: paStart, End: pl.clock.Now(),
-		Note: preStats.String(),
+		Note: preStats.String() + paFallback,
 	})
 
 	// The k-mer plan is now known — the information the dynamic
@@ -301,8 +333,9 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	asmFS.SeqDataBytes = fs.PostPreprocessBytes
 
 	// --- PB: multiple-k-mer, multi-assembler transcript assembly ---
+	pbBackend, pbFallback := pl.routeBackend(cfg.Backends.PB)
 	nodes := pl.assemblyNodes(kmers)
-	if cfg.Backends.PB == cloud.Serverless {
+	if pbBackend == cloud.Serverless {
 		// Functions are single one-core allocations: there is no
 		// assembly cluster to size.
 		nodes = 0
@@ -311,7 +344,10 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	pbScope := pl.beginStage("PB")
 	pbScope.attr("kmers", fmt.Sprint(kmers))
 	pbScope.attr(obs.AttrNodes, fmt.Sprintf("%d", nodes))
-	pb, transferNote, err := pl.nextStage("PB", pa, nodes, cfg.Backends.PB, func() (string, error) {
+	if pl.cutoffReached() {
+		return pl.cutoffCancel(rep, pbScope, "PB", "", pl.clock.Now(), pa)
+	}
+	pb, transferNote, err := pl.nextStage("PB", pa, nodes, pbBackend, func() (string, error) {
 		// Instance choice for a fresh (S1) PB pilot.
 		if cfg.Pattern != DistributedDynamic {
 			return cfg.InstanceType, nil
@@ -358,7 +394,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 		if jobNodes > 1 {
 			rule = sge.FillUp
 		}
-		if cfg.Backends.PB == cloud.Serverless {
+		if pbBackend == cloud.Serverless {
 			// A function invocation is one single-core allocation;
 			// multi-node MPI shapes don't exist on this backend, so the
 			// assembler runs sequentially and long jobs split into
@@ -475,6 +511,9 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 		return rep, err
 	}
 	for _, u := range pbUnits {
+		if pl.canceledAtCutoff(u) {
+			return pl.cutoffCancel(rep, pbScope, "PB", pb.id(), pbStart, pa, pb)
+		}
 		if u.State() != pilot.UnitDone {
 			rep.Stages = append(rep.Stages, StageReport{Name: "PB", Pilot: pb.id(), Start: pbStart, End: pl.clock.Now(), Note: "FAILED"})
 			err := fmt.Errorf("core: PB unit %s failed: %w", u.ID, u.Err)
@@ -498,7 +537,7 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 		}
 	}
 	pbScope.end()
-	pbNote := fmt.Sprintf("%d assembly jobs on %d nodes%s", len(pbUnits), nodes, transferNote)
+	pbNote := fmt.Sprintf("%d assembly jobs on %d nodes%s%s", len(pbUnits), nodes, transferNote, pbFallback)
 	if pb.faas != nil {
 		pbNote = fmt.Sprintf("%d assembly jobs as functions%s", len(pbUnits), transferNote)
 	}
@@ -515,9 +554,13 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 			pbOutBytes += int64(len(c.Seq)) + int64(len(c.ID)) + 2
 		}
 	}
+	pcBackend, pcFallback := pl.routeBackend(cfg.Backends.PC)
 	pcScope := pl.beginStage("PC")
 	pcScope.attr(obs.AttrNodes, "1")
-	pc, pcTransferNote, err := pl.nextStage("PC", pb, 1, cfg.Backends.PC, func() (string, error) {
+	if pl.cutoffReached() {
+		return pl.cutoffCancel(rep, pcScope, "PC", "", pl.clock.Now(), pa, pb)
+	}
+	pc, pcTransferNote, err := pl.nextStage("PC", pb, 1, pcBackend, func() (string, error) {
 		if cfg.Pattern != DistributedDynamic {
 			return cfg.InstanceType, nil
 		}
@@ -661,6 +704,9 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	if err := pcUM.Run(); err != nil {
 		return rep, err
 	}
+	if pl.canceledAtCutoff(pcUnits[0]) {
+		return pl.cutoffCancel(rep, pcScope, "PC", pc.id(), pcStart, pa, pb, pc)
+	}
 	if st := pcUnits[0].State(); st != pilot.UnitDone {
 		rep.Stages = append(rep.Stages, StageReport{Name: "PC", Pilot: pc.id(), Start: pcStart, End: pl.clock.Now(), Note: "FAILED"})
 		err := fmt.Errorf("core: PC post-processing failed: %w", pcUnits[0].Err)
@@ -672,11 +718,12 @@ func (pl *Pipeline) Run(ds *simdata.Dataset) (rep *Report, err error) {
 	pcScope.end()
 	rep.Stages = append(rep.Stages, StageReport{
 		Name: "PC", Pilot: pc.id(), Start: pcStart, End: pl.clock.Now(),
-		Note: rep.MergeStats.String() + pcTransferNote,
+		Note: rep.MergeStats.String() + pcTransferNote + pcFallback,
 	})
 
 	// --- Wrap up: terminate everything, bill, evaluate ---
 	pl.teardown(pa, pb, pc)
+	rep.Outcome = OutcomeComplete
 	rep.finish(pl)
 
 	if cfg.EvaluateAgainstTruth {
@@ -768,25 +815,81 @@ func (sx *stageExec) instanceName() string {
 type unitRunner interface {
 	SetObs(*obs.Obs)
 	SetOnUnitDone(func(*pilot.Unit, vclock.Time))
+	SetRetryBudget(*pilot.RetryBudget)
+	SetCutoff(vclock.Time)
 	Submit([]pilot.UnitDescription) ([]*pilot.Unit, error)
 	Run() error
 }
 
 // newRunner builds the unit runner for a stage vehicle, wired into the
-// run's observability and journal hooks.
+// run's observability, journal, retry-budget and cutoff hooks.
 func (pl *Pipeline) newRunner(sx *stageExec, stage string) (unitRunner, error) {
+	var r unitRunner
 	if sx.faas != nil {
-		sx.faas.SetObs(pl.o)
-		sx.faas.SetOnUnitDone(pl.jr.onUnitDone(stage))
-		return sx.faas, nil
+		r = sx.faas
+	} else {
+		um := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
+		if err := um.AddPilots(sx.pilot); err != nil {
+			return nil, err
+		}
+		r = um
 	}
-	um := pilot.NewUnitManager(pl.pm.Store(), pl.clock, pilot.RoundRobin)
-	um.SetObs(pl.o)
-	um.SetOnUnitDone(pl.jr.onUnitDone(stage))
-	if err := um.AddPilots(sx.pilot); err != nil {
-		return nil, err
+	r.SetObs(pl.o)
+	r.SetOnUnitDone(pl.jr.onUnitDone(stage))
+	r.SetRetryBudget(pl.budget)
+	r.SetCutoff(pl.cutoff)
+	return r, nil
+}
+
+// cutoffReached reports whether the virtual clock crossed the run's
+// cutoff (deadline or cancellation point).
+func (pl *Pipeline) cutoffReached() bool {
+	return pl.cutoff > 0 && pl.clock.Now() >= pl.cutoff
+}
+
+// canceledAtCutoff reports whether a unit terminated via the cutoff
+// path: the runners transition units to CANCELED (never FAILED) when
+// an attempt would start past the cutoff, and nothing else cancels
+// units inside a pipeline run.
+func (pl *Pipeline) canceledAtCutoff(u *pilot.Unit) bool {
+	return pl.cutoff > 0 && u.State() == pilot.UnitCanceled
+}
+
+// cutoffCancel ends a run at its cutoff: the stage is closed with the
+// outcome, a cancelled record is journaled (so a resume replays the
+// same truncation byte-for-byte), every vehicle tears down, and the
+// truncated report is stamped and returned with a *CutoffError.
+func (pl *Pipeline) cutoffCancel(rep *Report, sc *stageScope, stage, pilotID string,
+	start vclock.Time, sxs ...*stageExec) (*Report, error) {
+
+	// A preempted unit leaves the clock where its attempt started;
+	// the run still waited until the cutoff expired before giving up.
+	if pl.clock.Now() < pl.cutoff {
+		pl.clock.AdvanceTo(pl.cutoff)
 	}
-	return um, nil
+	now := pl.clock.Now()
+	err := &CutoffError{Outcome: pl.cutoffOutcome, At: now, Cutoff: pl.cutoff}
+	rep.Stages = append(rep.Stages, StageReport{
+		Name: stage, Pilot: pilotID, Start: start, End: now, Note: string(pl.cutoffOutcome),
+	})
+	sc.fail(err)
+	pl.jr.cancelled(string(pl.cutoffOutcome))
+	pl.teardown(sxs...)
+	rep.Outcome = pl.cutoffOutcome
+	rep.finish(pl)
+	return rep, err
+}
+
+// routeBackend applies the circuit breaker to a stage's requested
+// backend: a tripped spot or serverless circuit routes the stage to
+// the on-demand fallback. It returns the effective backend and a
+// human-readable note suffix when a fallback happened.
+func (pl *Pipeline) routeBackend(backend cloud.Backend) (cloud.Backend, string) {
+	cb := pl.provider.Breaker()
+	if cb == nil || backend == cloud.OnDemand || cb.Allow(backend) {
+		return backend, ""
+	}
+	return cloud.OnDemand, fmt.Sprintf("; %s breaker open, on-demand fallback", backend)
 }
 
 // firstStage provisions the workflow's first execution vehicle: a

@@ -37,6 +37,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"path/filepath"
 	"sort"
@@ -53,6 +54,7 @@ import (
 	"rnascale/internal/seq"
 	"rnascale/internal/simdata"
 	"rnascale/internal/sweep"
+	"rnascale/internal/vclock"
 )
 
 // Gateway-level metric names (the per-run rnascale_* metrics live in
@@ -75,7 +77,30 @@ const (
 	// time the submitting user actually experiences, and is the signal
 	// that says "add workers" when the bounded queue backs up.
 	MetricRunsQueueWait = "rnascale_gateway_runs_queue_wait_seconds"
+	// MetricRunsRejected counts admission rejections by reason. The
+	// label is bounded by rejectReasons — all series are registered at
+	// startup so the exposition's cardinality is constant.
+	MetricRunsRejected = "rnascale_gateway_runs_rejected_total"
+	// MetricRunsShed counts work dropped by brownout shedding: queued
+	// runs evicted for higher-priority arrivals, and low-priority
+	// arrivals turned away while the queue is over its wait watermark.
+	MetricRunsShed = "rnascale_gateway_runs_shed_total"
 )
+
+// Admission rejection reasons (the only values MetricRunsRejected's
+// reason label ever takes).
+const (
+	// RejectDeadline: the planner prices the run's TTC past its
+	// deadline; admitting it would burn budget on a doomed run.
+	RejectDeadline = "deadline"
+	// RejectCost: predicted cost exceeds the request's budget.
+	RejectCost = "cost"
+	// RejectQueue: the bounded queue is full.
+	RejectQueue = "queue"
+)
+
+// rejectReasons pins the reason label's cardinality.
+func rejectReasons() []string { return []string{RejectDeadline, RejectCost, RejectQueue} }
 
 // costBuckets spans the USD range of the paper's experiments, from
 // sub-dollar tiny runs to full-scale multi-hundred-dollar bills.
@@ -94,11 +119,64 @@ func queueWaitBuckets() []float64 {
 const DefaultMaxQueued = 64
 
 // ErrQueueFull is returned by run submission when the queue is at its
-// bound; the HTTP layer maps it to 429 Too Many Requests.
+// bound; the HTTP layer maps it to 429 Too Many Requests. Submissions
+// actually surface a *QueueFullError (which Is ErrQueueFull) carrying
+// the live Retry-After hint.
 var ErrQueueFull = errors.New("gateway: run queue full")
+
+// ErrShed is the identity of *ShedError for errors.Is.
+var ErrShed = errors.New("gateway: submission shed")
 
 // errClosed rejects submissions after Close.
 var errClosed = errors.New("gateway: server closed")
+
+// QueueFullError rejects a submission that found the bounded queue at
+// capacity, carrying the honest backoff hint the 429 advertises.
+type QueueFullError struct {
+	RetryAfterSecs int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("gateway: run queue full; retry in %ds", e.RetryAfterSecs)
+}
+
+// Is makes errors.Is(err, ErrQueueFull) keep working for callers that
+// match the sentinel.
+func (e *QueueFullError) Is(target error) bool { return target == ErrQueueFull }
+
+// ShedError rejects a submission turned away by brownout shedding:
+// the queue is past its wait watermark and nothing queued ranks below
+// the arrival. Maps to 503 with a Retry-After hint.
+type ShedError struct {
+	RetryAfterSecs int
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("gateway: shed under brownout (queue wait over watermark); retry in %ds", e.RetryAfterSecs)
+}
+
+// Is makes errors.Is(err, ErrShed) work.
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
+
+// AdmissionError rejects a submission the planner priced as
+// infeasible: predicted TTC past the deadline, or predicted cost over
+// budget. Retrying the same request cannot help, so the HTTP layer
+// maps it to 422 Unprocessable Entity with no Retry-After.
+type AdmissionError struct {
+	Reason    string // RejectDeadline or RejectCost
+	Predicted float64
+	Limit     float64
+}
+
+func (e *AdmissionError) Error() string {
+	switch e.Reason {
+	case RejectDeadline:
+		return fmt.Sprintf("gateway: predicted TTC %.0fs cannot meet deadline %.0fs", e.Predicted, e.Limit)
+	case RejectCost:
+		return fmt.Sprintf("gateway: predicted cost $%.2f exceeds budget $%.2f", e.Predicted, e.Limit)
+	}
+	return fmt.Sprintf("gateway: admission rejected (%s)", e.Reason)
+}
 
 // RunRequest is the submission payload.
 type RunRequest struct {
@@ -124,6 +202,24 @@ type RunRequest struct {
 	// FaultSeed seeds the fault-injection PRNG; the same seed replays
 	// the same faults.
 	FaultSeed uint64 `json:"faultSeed,omitempty"`
+	// DeadlineSeconds is a virtual-time deadline for the run. Admission
+	// prices the run with the planner and rejects it up front when the
+	// predicted TTC cannot meet the deadline; an admitted run carries
+	// the deadline into the pipeline, which cancels remaining work at
+	// the cutoff. Zero means no deadline.
+	DeadlineSeconds float64 `json:"deadlineSeconds,omitempty"`
+	// MaxCostUSD rejects the run at admission when the predicted cloud
+	// bill exceeds it. Zero means no budget cap.
+	MaxCostUSD float64 `json:"maxCostUSD,omitempty"`
+	// RetryBudget caps run-wide unit retries (see core.Config). Zero
+	// means unlimited.
+	RetryBudget int `json:"retryBudget,omitempty"`
+	// Priority orders runs under brownout shedding: when the queue's
+	// head has waited past the shed watermark, the lowest-priority
+	// queued run is evicted to make room for a higher-priority
+	// arrival, and arrivals that are themselves lowest-priority are
+	// turned away. Higher is more important; default 0.
+	Priority int `json:"priority,omitempty"`
 }
 
 // RunStatus is the externally visible run state.
@@ -135,6 +231,10 @@ const (
 	StatusRunning RunStatus = "running"
 	StatusDone    RunStatus = "done"
 	StatusFailed  RunStatus = "failed"
+	// StatusShed marks a queued run evicted by brownout shedding
+	// before any worker picked it up. Terminal; the event-log replay
+	// treats it as history, like done and failed.
+	StatusShed RunStatus = "shed"
 )
 
 // RunView is the JSON representation of a run.
@@ -143,6 +243,10 @@ type RunView struct {
 	Status  RunStatus  `json:"status"`
 	Request RunRequest `json:"request"`
 	Error   string     `json:"error,omitempty"`
+	// Outcome is the pipeline's outcome class (complete,
+	// deadline_exceeded, cancelled) once the run is terminal; shed runs
+	// carry "shed". Empty for plain failures and non-terminal runs.
+	Outcome string `json:"outcome,omitempty"`
 	// Summary fields, present once done.
 	TTCSeconds  float64            `json:"ttcSeconds,omitempty"`
 	CostUSD     float64            `json:"costUSD,omitempty"`
@@ -173,6 +277,10 @@ type run struct {
 	// pickup. Wall clock, not vclock: queue wait happens outside any
 	// simulated run and is real time the submitter experiences.
 	enqueuedAt time.Time
+	// startedAt is the wall-clock instant a worker picked the run up;
+	// terminal transitions feed startedAt→now into the service-time
+	// ring that prices Retry-After hints.
+	startedAt time.Time
 }
 
 // Server is the gateway. Create with NewServer and mount via Handler.
@@ -192,6 +300,12 @@ type Server struct {
 	journalDir    string             // set by EnableJournal
 	events        *journal.Segmented // segmented event log, nil when not journaling
 	rotateEvery   int                // event-log segment size, 0 = journal default
+	brownout      time.Duration      // queue-wait shed watermark, 0 = no shedding
+	// serviceSecs is a fixed ring of recent run wall durations (pickup
+	// to terminal); its mean prices the Retry-After hint on 429s.
+	serviceSecs [serviceRing]float64
+	serviceN    int // samples written, caps at serviceRing
+	serviceIdx  int // next ring slot
 }
 
 // NewServer returns a gateway executing at most maxConcurrent runs at
@@ -209,11 +323,30 @@ func NewServer(maxConcurrent int) *Server {
 		metrics:       obs.NewRegistry(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	// Register every rejection series (and the shed counter) up front:
+	// the exposition shows zeroes from the first scrape and its
+	// cardinality never moves, no matter which rejections occur.
+	for _, reason := range rejectReasons() {
+		s.metrics.Counter(MetricRunsRejected, "Gateway submissions rejected at admission, by reason.",
+			obs.Labels{"reason": reason})
+	}
+	s.metrics.Counter(MetricRunsShed, "Gateway runs dropped by brownout shedding.", nil)
 	s.workerWG.Add(maxConcurrent)
 	for i := 0; i < maxConcurrent; i++ {
 		go s.worker()
 	}
 	return s
+}
+
+// SetBrownout arms brownout shedding: when a submission arrives while
+// the oldest queued run has already waited longer than watermark, the
+// gateway sheds the lowest-priority queued run to keep the queue's
+// wait bounded — or turns the arrival itself away when nothing queued
+// ranks below it. Zero (the default) disables shedding.
+func (s *Server) SetBrownout(watermark time.Duration) { //rnavet:allow vtimeleak — the watermark bounds real queue wait (wall time the submitter experiences, outside any simulated run), like queueClock
+	s.mu.Lock()
+	s.brownout = watermark
+	s.mu.Unlock()
 }
 
 // SetMaxQueued bounds the submission queue: POSTs arriving while
@@ -332,15 +465,54 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// RetryAfterSeconds is the backoff hint on 429 responses. The queue
-// drains at simulated-pipeline speed, so a short retry is honest.
-const RetryAfterSeconds = 1
+// Retry-After bounds. The hint is priced from live queue state (depth
+// × mean recent service time ÷ workers), then clamped: at least 1s so
+// clients always back off a little, at most 300s so a transient spike
+// never tells a client to go away for an hour.
+const (
+	serviceRing    = 16 // service-time samples kept for the mean
+	minRetryAfter  = 1
+	maxRetryAfter  = 300
+	defaultService = 1.0 // seconds assumed per run before any sample exists
+)
 
-// writeTooManyRequests answers 429 with a Retry-After header and the
-// usual JSON error body, so both header-driven and body-driven
+// retryAfterLocked prices the honest Retry-After hint: the arriving
+// client is behind len(queue) runs draining across maxConcurrent
+// workers at the mean recent service time. Caller holds s.mu.
+func (s *Server) retryAfterLocked() int {
+	mean := defaultService
+	if s.serviceN > 0 {
+		var sum float64
+		for _, v := range s.serviceSecs[:s.serviceN] {
+			sum += v
+		}
+		mean = sum / float64(s.serviceN)
+	}
+	secs := int(math.Ceil(float64(len(s.queue)+1) / float64(s.maxConcurrent) * mean))
+	if secs < minRetryAfter {
+		secs = minRetryAfter
+	}
+	if secs > maxRetryAfter {
+		secs = maxRetryAfter
+	}
+	return secs
+}
+
+// recordServiceLocked feeds one finished run's wall duration into the
+// service-time ring. Caller holds s.mu.
+func (s *Server) recordServiceLocked(secs float64) {
+	s.serviceSecs[s.serviceIdx] = secs
+	s.serviceIdx = (s.serviceIdx + 1) % serviceRing
+	if s.serviceN < serviceRing {
+		s.serviceN++
+	}
+}
+
+// writeTooManyRequests answers 429 with a live Retry-After header and
+// the usual JSON error body, so both header-driven and body-driven
 // clients can back off.
-func writeTooManyRequests(w http.ResponseWriter, format string, args ...any) {
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds))
+func writeTooManyRequests(w http.ResponseWriter, retryAfterSecs int, format string, args ...any) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSecs))
 	writeErr(w, http.StatusTooManyRequests, format, args...)
 }
 
@@ -404,9 +576,23 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		view, err := s.submit(req)
+		var qf *QueueFullError
+		var sh *ShedError
+		var ae *AdmissionError
 		switch {
-		case errors.Is(err, ErrQueueFull):
-			writeTooManyRequests(w, "%v", err)
+		case errors.As(err, &qf):
+			writeTooManyRequests(w, qf.RetryAfterSecs, "%v", err)
+			return
+		case errors.As(err, &sh):
+			// Brownout is load, not a malformed request: 503 with the
+			// same honest backoff hint a 429 carries.
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", sh.RetryAfterSecs))
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		case errors.As(err, &ae):
+			// Infeasible by prediction: retrying cannot help, so no
+			// Retry-After — the client must change the request.
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 			return
 		case errors.Is(err, errClosed):
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -525,13 +711,72 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// rejected counts one admission rejection on a pre-registered series.
+func (s *Server) rejected(reason string) {
+	s.metrics.Counter(MetricRunsRejected, "Gateway submissions rejected at admission, by reason.",
+		obs.Labels{"reason": reason}).Inc()
+}
+
+// shedCount counts one brownout shed.
+func (s *Server) shedCount() {
+	s.metrics.Counter(MetricRunsShed, "Gateway runs dropped by brownout shedding.", nil).Inc()
+}
+
+// admit prices the request with the planner when it carries a
+// deadline or cost budget, rejecting infeasible work before it takes
+// a queue slot. The same comparison the pipeline would lose against
+// at its cutoff happens here against the prediction: a run the
+// planner says cannot meet its deadline is never admitted, and a run
+// it says can is never rejected for it.
+func admit(req RunRequest, cfg core.Config, ds *simdata.Dataset) error {
+	if req.DeadlineSeconds <= 0 && req.MaxCostUSD <= 0 {
+		return nil
+	}
+	plan, err := core.Predict(ds, cfg)
+	if err != nil {
+		return fmt.Errorf("gateway: cannot price submission for admission: %w", err)
+	}
+	if req.DeadlineSeconds > 0 && plan.TTC.Seconds() > req.DeadlineSeconds {
+		return &AdmissionError{Reason: RejectDeadline, Predicted: plan.TTC.Seconds(), Limit: req.DeadlineSeconds}
+	}
+	if req.MaxCostUSD > 0 && plan.CostUSD > req.MaxCostUSD {
+		return &AdmissionError{Reason: RejectCost, Predicted: plan.CostUSD, Limit: req.MaxCostUSD}
+	}
+	return nil
+}
+
+// shedVictimLocked picks the queued run brownout should evict: the
+// lowest priority, ties broken toward the most recent arrival (it has
+// sunk the least waiting). Returns -1 when the queue is empty. Caller
+// holds s.mu.
+func (s *Server) shedVictimLocked() int {
+	victim := -1
+	for i, id := range s.queue {
+		if victim == -1 || s.runs[id].view.Request.Priority <= s.runs[s.queue[victim]].view.Request.Priority {
+			victim = i
+		}
+	}
+	return victim
+}
+
 // submit validates and enqueues a run. A full queue rejects the
 // submission with ErrQueueFull rather than accepting unbounded
 // backlog (the old per-run-goroutine design held every submission
-// alive, so a flood of POSTs grew memory without limit).
+// alive, so a flood of POSTs grew memory without limit). Requests
+// carrying a deadline or budget are priced by the planner first and
+// rejected when infeasible; with a brownout watermark armed, an
+// over-aged queue sheds its lowest-priority run to admit
+// higher-priority work.
 func (s *Server) submit(req RunRequest) (RunView, error) {
 	cfg, ds, err := buildConfig(req)
 	if err != nil {
+		return RunView{}, err
+	}
+	if err := admit(req, cfg, ds); err != nil {
+		var ae *AdmissionError
+		if errors.As(err, &ae) {
+			s.rejected(ae.Reason)
+		}
 		return RunView{}, err
 	}
 	cfg.Obs = obs.New()
@@ -540,9 +785,33 @@ func (s *Server) submit(req RunRequest) (RunView, error) {
 		s.mu.Unlock()
 		return RunView{}, errClosed
 	}
+	var shedID string
+	if s.brownout > 0 && len(s.queue) > 0 &&
+		queueClock().Sub(s.runs[s.queue[0]].enqueuedAt) > s.brownout {
+		idx := s.shedVictimLocked()
+		victim := s.runs[s.queue[idx]]
+		if victim.view.Request.Priority >= req.Priority {
+			// Nothing queued ranks below the arrival: it is itself the
+			// lowest-priority work, so brownout turns it away.
+			retry := s.retryAfterLocked()
+			s.mu.Unlock()
+			s.shedCount()
+			return RunView{}, &ShedError{RetryAfterSecs: retry}
+		}
+		shedID = s.queue[idx]
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		victim.view.Status = StatusShed
+		victim.view.Outcome = string(StatusShed)
+		victim.view.Error = "shed under brownout: queue wait exceeded watermark"
+		victim.ds = nil
+		s.logEventLocked(shedID)
+	}
 	if len(s.queue) >= s.maxQueued {
+		retry := s.retryAfterLocked()
 		s.mu.Unlock()
-		return RunView{}, ErrQueueFull
+		s.rejected(RejectQueue)
+		// shedID can't be set here: shedding freed a slot.
+		return RunView{}, &QueueFullError{RetryAfterSecs: retry}
 	}
 	s.nextID++
 	id := fmt.Sprintf("run-%05d", s.nextID)
@@ -557,6 +826,15 @@ func (s *Server) submit(req RunRequest) (RunView, error) {
 	s.runsWG.Add(1)
 	s.logEventLocked(id)
 	s.mu.Unlock()
+	if shedID != "" {
+		// Settle the evicted run's accounting now that the lock is
+		// released: it was inflight from its own submit. Shed runs are
+		// counted by the dedicated shed counter, not the per-status runs
+		// counter, so that counter's label set stays fixed.
+		s.shedCount()
+		s.runsInflight(-1)
+		s.runsWG.Done()
+	}
 	s.runsInflight(1)
 	s.cond.Signal()
 	// Return the pre-enqueue snapshot: a worker may already be
@@ -593,7 +871,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Runs) > maxQueued {
-		writeTooManyRequests(w, "batch of %d exceeds queue bound %d", len(req.Runs), maxQueued)
+		s.mu.Lock()
+		retry := s.retryAfterLocked()
+		s.mu.Unlock()
+		s.rejected(RejectQueue)
+		writeTooManyRequests(w, retry, "batch of %d exceeds queue bound %d", len(req.Runs), maxQueued)
 		return
 	}
 	cfgs := make([]core.Config, len(req.Runs))
@@ -667,13 +949,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // aggregate TTC/cost histograms and the Wait group.
 func (s *Server) setStatus(id string, status RunStatus, rep *core.Report, errMsg string) {
 	if status == StatusRunning {
+		now := queueClock()
 		s.mu.Lock()
 		enqueuedAt := s.runs[id].enqueuedAt
+		s.runs[id].startedAt = now
 		s.mu.Unlock()
 		if !enqueuedAt.IsZero() {
 			s.metrics.Histogram(MetricRunsQueueWait,
 				"Real seconds from enqueue to worker pickup.", queueWaitBuckets(), nil).
-				Observe(queueClock().Sub(enqueuedAt).Seconds())
+				Observe(now.Sub(enqueuedAt).Seconds())
 		}
 	}
 	if status == StatusDone || status == StatusFailed {
@@ -681,6 +965,12 @@ func (s *Server) setStatus(id string, status RunStatus, rep *core.Report, errMsg
 			obs.Labels{"status": string(status)}).Inc()
 		s.runsInflight(-1)
 		defer s.runsWG.Done()
+		now := queueClock()
+		s.mu.Lock()
+		if startedAt := s.runs[id].startedAt; !startedAt.IsZero() {
+			s.recordServiceLocked(now.Sub(startedAt).Seconds())
+		}
+		s.mu.Unlock()
 	}
 	if rep != nil && status == StatusDone {
 		s.metrics.Histogram(MetricRunTTC, "Finished run TTC, virtual seconds.", nil, nil).
@@ -694,6 +984,9 @@ func (s *Server) setStatus(id string, status RunStatus, rep *core.Report, errMsg
 	rn.view.Status = status
 	rn.view.Error = errMsg
 	rn.report = rep
+	if rep != nil && rep.Outcome != "" {
+		rn.view.Outcome = string(rep.Outcome)
+	}
 	if rep != nil {
 		rn.view.TTCSeconds = rep.TTC.Seconds()
 		rn.view.CostUSD = rep.CostUSD
@@ -775,6 +1068,20 @@ func buildConfig(req RunRequest) (core.Config, *simdata.Dataset, error) {
 		cfg.ContrailNodes = req.ContrailNodes
 	}
 	cfg.EvaluateAgainstTruth = req.Evaluate
+	if req.DeadlineSeconds < 0 {
+		return core.Config{}, nil, fmt.Errorf("gateway: negative deadline %v", req.DeadlineSeconds)
+	}
+	if req.MaxCostUSD < 0 {
+		return core.Config{}, nil, fmt.Errorf("gateway: negative cost budget %v", req.MaxCostUSD)
+	}
+	if req.RetryBudget < 0 {
+		return core.Config{}, nil, fmt.Errorf("gateway: negative retry budget %d", req.RetryBudget)
+	}
+	// An admitted deadline still rides into the pipeline: prediction
+	// error or injected faults can push a feasible run past its
+	// deadline mid-flight, and the run-level cutoff catches that.
+	cfg.Deadline = vclock.Duration(req.DeadlineSeconds)
+	cfg.RetryBudget = req.RetryBudget
 	if req.Faults != "" {
 		plan, err := faults.ParseSpec(req.Faults)
 		if err != nil {

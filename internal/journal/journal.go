@@ -62,6 +62,10 @@ const (
 	KindUnit       = "unit"        // a compute unit completed (payload = its outputs)
 	KindStageEnd   = "stage-end"   // a pipeline stage ended (digest = stage artifacts)
 	KindComplete   = "complete"    // the run returned (note records the outcome)
+	// KindCancelled marks a run cut off at its virtual-time deadline or
+	// cancellation point (note records the outcome class); it precedes
+	// the complete record in a cancelled run's journal.
+	KindCancelled = "cancelled"
 	// KindEvent is a generic state-transition record for journals that
 	// log a table rather than a pipeline (the gateway's event log).
 	KindEvent = "event"

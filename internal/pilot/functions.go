@@ -36,6 +36,8 @@ type FunctionRunner struct {
 	nextID     int
 	obs        *obs.Obs
 	onUnitDone func(u *Unit, at vclock.Time)
+	budget     *RetryBudget
+	cutoff     vclock.Time
 }
 
 // functionPolicy is the scheduling-note policy name, parsed by the
@@ -85,6 +87,14 @@ func (fr *FunctionRunner) SetObs(o *obs.Obs) { fr.obs = o }
 // SetOnUnitDone registers the per-unit completion callback (see
 // UnitManager.SetOnUnitDone).
 func (fr *FunctionRunner) SetOnUnitDone(f func(u *Unit, at vclock.Time)) { fr.onUnitDone = f }
+
+// SetRetryBudget attaches a run-wide retry budget (see
+// UnitManager.SetRetryBudget); nil = unlimited.
+func (fr *FunctionRunner) SetRetryBudget(b *RetryBudget) { fr.budget = b }
+
+// SetCutoff sets the virtual time past which no new attempt may start
+// (see UnitManager.SetCutoff). Zero disables it.
+func (fr *FunctionRunner) SetCutoff(t vclock.Time) { fr.cutoff = t }
 
 func (fr *FunctionRunner) count(name, help string) {
 	if fr.obs == nil || fr.obs.Metrics == nil {
@@ -140,6 +150,12 @@ func (fr *FunctionRunner) Run() error {
 		if u.State() != UnitScheduled {
 			continue
 		}
+		if fr.cutoff > 0 && now >= fr.cutoff {
+			if err := fr.store.Transition(u.ID, string(UnitCanceled), now, "run cutoff reached"); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := fr.store.Transition(u.ID, string(UnitExecuting), now, "function exec"); err != nil {
 			return err
 		}
@@ -184,16 +200,30 @@ func (fr *FunctionRunner) execute(u *Unit, at vclock.Time) (vclock.Time, error) 
 	for u.Attempts = 1; ; u.Attempts++ {
 		end, failAt, err := fr.tryOnce(u, submitAt)
 		if err == nil {
+			if fr.cutoff > 0 && end > fr.cutoff {
+				// Preempt an invocation that would outlive the run's
+				// deadline (see UnitManager.execute).
+				if terr := fr.store.Transition(u.ID, string(UnitCanceled), fr.cutoff, "run cutoff preempted execution"); terr != nil {
+					return fr.cutoff, terr
+				}
+				return fr.cutoff, fmt.Errorf("canceled at run cutoff: execution would end at %v", end)
+			}
+			fr.prov.Breaker().RecordSuccess(cloud.Serverless)
 			if u.Attempts > 1 {
 				fr.count(MetricUnitsRecovered, "Units that reached DONE after at least one retry.")
 			}
 			return end, nil
 		}
+		fr.prov.Breaker().RecordFailure(cloud.Serverless)
 		if u.Attempts > pol.MaxRetries {
 			if u.Attempts > 1 {
 				return failAt, fmt.Errorf("%w (after %d attempts)", err, u.Attempts)
 			}
 			return failAt, err
+		}
+		if !fr.budget.Allow(failAt) {
+			fr.count(MetricRetryBudgetExhausted, "Retries denied by an exhausted run retry budget.")
+			return failAt, fmt.Errorf("retry budget exhausted: %w", err)
 		}
 		backoff := pol.BackoffFor(u.Attempts)
 		if terr := fr.store.Transition(u.ID, string(UnitRetrying), failAt,
@@ -205,6 +235,12 @@ func (fr *FunctionRunner) execute(u *Unit, at vclock.Time) (vclock.Time, error) 
 			return failAt, fmt.Errorf("canceled during retry backoff: %w", err)
 		}
 		submitAt = failAt.Add(backoff)
+		if fr.cutoff > 0 && submitAt >= fr.cutoff {
+			if terr := fr.store.Transition(u.ID, string(UnitCanceled), failAt, "run cutoff reached during retry backoff"); terr != nil {
+				return failAt, terr
+			}
+			return failAt, fmt.Errorf("canceled at run cutoff: %w", err)
+		}
 		if terr := fr.store.Transition(u.ID, string(UnitExecuting), submitAt,
 			fmt.Sprintf("retry %d", u.Attempts+1)); terr != nil {
 			return submitAt, terr

@@ -179,6 +179,13 @@ type UnitManager struct {
 	boundSlots map[*Pilot]int
 	obs        *obs.Obs
 	onUnitDone func(u *Unit, at vclock.Time)
+	// budget, when set, bounds restarts across every unit this manager
+	// runs (shared run-wide by the pipeline); nil = unlimited.
+	budget *RetryBudget
+	// cutoff, when non-zero, is the virtual time past which no new
+	// attempt may start: units whose submission or retry would begin at
+	// or after it are canceled instead of executed.
+	cutoff vclock.Time
 }
 
 // NewUnitManager returns a unit manager over the shared store.
@@ -196,6 +203,16 @@ func (um *UnitManager) SetObs(o *obs.Obs) { um.obs = o }
 // fires after the Done transition, so the journaled unit is already
 // durable in the state store when the record is written.
 func (um *UnitManager) SetOnUnitDone(f func(u *Unit, at vclock.Time)) { um.onUnitDone = f }
+
+// SetRetryBudget attaches a run-wide retry budget consulted before
+// every restart; nil (the default) leaves retries bounded only by the
+// per-unit policy.
+func (um *UnitManager) SetRetryBudget(b *RetryBudget) { um.budget = b }
+
+// SetCutoff sets the virtual time past which no new unit attempt may
+// start — the run deadline (or operator cancellation point) pushed
+// down from the pipeline. Zero disables it.
+func (um *UnitManager) SetCutoff(t vclock.Time) { um.cutoff = t }
 
 // count increments an unlabelled unit-manager counter.
 func (um *UnitManager) count(name, help string) {
@@ -317,6 +334,14 @@ func (um *UnitManager) Run() error {
 		if u.State() != UnitScheduled {
 			continue
 		}
+		if um.cutoff > 0 && now >= um.cutoff {
+			// The run's deadline already passed: cancel cleanly instead
+			// of starting work that cannot count.
+			if err := um.store.Transition(u.ID, string(UnitCanceled), now, "run cutoff reached"); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := um.store.Transition(u.ID, string(UnitExecuting), now, "agent exec"); err != nil {
 			return err
 		}
@@ -369,6 +394,15 @@ func (um *UnitManager) execute(u *Unit, at vclock.Time) (vclock.Time, error) {
 	for u.Attempts = 1; ; u.Attempts++ {
 		end, failAt, err := um.tryOnce(u, submitAt)
 		if err == nil {
+			if um.cutoff > 0 && end > um.cutoff {
+				// The attempt would outlive the run's deadline: the expired
+				// deadline preempts it at the cutoff rather than letting
+				// the run overrun.
+				if terr := um.store.Transition(u.ID, string(UnitCanceled), um.cutoff, "run cutoff preempted execution"); terr != nil {
+					return um.cutoff, terr
+				}
+				return um.cutoff, fmt.Errorf("canceled at run cutoff: execution would end at %v", end)
+			}
 			if u.Attempts > 1 {
 				um.count(MetricUnitsRecovered, "Units that reached DONE after at least one retry.")
 			}
@@ -379,6 +413,12 @@ func (um *UnitManager) execute(u *Unit, at vclock.Time) (vclock.Time, error) {
 				return failAt, fmt.Errorf("%w (after %d attempts)", err, u.Attempts)
 			}
 			return failAt, err
+		}
+		if !um.budget.Allow(failAt) {
+			// The run-wide retry budget is spent: fail instead of
+			// resubmitting, so correlated failure waves stay bounded.
+			um.count(MetricRetryBudgetExhausted, "Retries denied by an exhausted run retry budget.")
+			return failAt, fmt.Errorf("retry budget exhausted: %w", err)
 		}
 		backoff := pol.BackoffFor(u.Attempts)
 		if terr := um.store.Transition(u.ID, string(UnitRetrying), failAt,
@@ -392,6 +432,14 @@ func (um *UnitManager) execute(u *Unit, at vclock.Time) (vclock.Time, error) {
 			return failAt, fmt.Errorf("canceled during retry backoff: %w", err)
 		}
 		submitAt = failAt.Add(backoff)
+		if um.cutoff > 0 && submitAt >= um.cutoff {
+			// The backoff window crosses the run's deadline: the retry
+			// would start past the cutoff, so cancel instead.
+			if terr := um.store.Transition(u.ID, string(UnitCanceled), failAt, "run cutoff reached during retry backoff"); terr != nil {
+				return failAt, terr
+			}
+			return failAt, fmt.Errorf("canceled at run cutoff: %w", err)
+		}
 		if terr := um.store.Transition(u.ID, string(UnitExecuting), submitAt,
 			fmt.Sprintf("retry %d", u.Attempts+1)); terr != nil {
 			return submitAt, terr

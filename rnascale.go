@@ -187,6 +187,36 @@ func Frontier(ds *Dataset, candidates []Config) ([]Plan, error) {
 	return core.Frontier(ds, candidates)
 }
 
+// Outcome classifies how a run ended (Report.Outcome): complete,
+// deadline_exceeded, shed or cancelled.
+type Outcome = core.Outcome
+
+// Run outcome classes.
+const (
+	// OutcomeComplete: the run finished all stages.
+	OutcomeComplete = core.OutcomeComplete
+	// OutcomeDeadlineExceeded: the run crossed its virtual-time
+	// deadline and remaining work was cancelled.
+	OutcomeDeadlineExceeded = core.OutcomeDeadlineExceeded
+	// OutcomeShed: the run was refused before execution (admission
+	// control or a cost-budget preflight); the pipeline itself never
+	// produces it.
+	OutcomeShed = core.OutcomeShed
+	// OutcomeCancelled: the run was cancelled at Config.CancelAt.
+	OutcomeCancelled = core.OutcomeCancelled
+)
+
+// CutoffError is returned by Run when a virtual-time deadline
+// (Config.Deadline) or cancellation point (Config.CancelAt) cut the
+// run off; the partial Report carries the matching Outcome.
+type CutoffError = core.CutoffError
+
+// BreakerOptions tunes the per-backend circuit breaker
+// (Config.Breaker): how many consecutive backend failures trip it
+// open, and how long it stays open before a half-open probe. Nil
+// disables the breaker.
+type BreakerOptions = cloud.BreakerOptions
+
 // FaultPlan is a parsed deterministic fault-injection plan; assign it
 // to Config.FaultPlan (with Config.FaultSeed) to run under injected
 // faults.
