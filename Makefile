@@ -12,7 +12,7 @@ COVER_SPECS = internal/cloud:85 internal/pilot:80 internal/core:80
 FUZZ_TARGETS = FuzzParseFasta FuzzParseFastq FuzzParseSFA
 FUZZ_TIME ?= 10s
 
-.PHONY: all build test vet lint race cover fuzz-smoke sweep-determinism journal-determinism overload-determinism check bench bench-gate bench-baseline clean
+.PHONY: all build test vet lint lint-fixtures race cover fuzz-smoke sweep-determinism journal-determinism overload-determinism check bench bench-gate bench-baseline clean
 
 # Coverage profiles land here instead of littering the repo root.
 BUILD_DIR = build
@@ -45,14 +45,25 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint runs rnavet, the project's determinism and simulation-integrity
-# analyzer (see internal/analysis): wall-clock reads in simulation
-# packages, global math/rand usage, order-dependent emission from map
-# iteration, and wall-clock types on simulation APIs. rnavet prints a
-# one-line summary (checks run, files scanned, findings) and exits
-# non-zero on any finding — including stale //rnavet:allow directives.
+# lint runs rnavet, the project's determinism, concurrency and
+# durability analyzer (see internal/analysis): wall-clock reads in
+# simulation packages, global math/rand usage, order-dependent
+# emission from map iteration, wall-clock types on simulation APIs,
+# unjoined goroutines, mutexes held across blocking operations,
+# dropped durability errors, and unbounded metric label values. rnavet
+# prints a one-line summary (checks run, files scanned, findings) and
+# exits non-zero on any finding — including stale //rnavet:allow
+# directives. The go-list snapshot is cached under $(BUILD_DIR) so
+# repeated lints skip the go-tool walk when nothing changed.
 lint:
-	$(GO) run ./cmd/rnavet ./...
+	$(GO) run ./cmd/rnavet -cache $(BUILD_DIR)/rnavet-cache ./...
+
+# lint-fixtures exercises the analyzer itself: the golden-fixture
+# corpus for every check, the JSON schema golden, the go-list cache
+# round-trip, and the awkward-package-shape loader tests. Run it after
+# touching internal/analysis; regenerate goldens with `go test -update`.
+lint-fixtures:
+	$(GO) test ./internal/analysis
 
 race:
 	$(GO) test -race ./...

@@ -59,7 +59,7 @@ func main() {
 		// The pprof handlers register on http.DefaultServeMux; the API
 		// runs on its own mux, so the profiles are reachable only
 		// through this listener.
-		go func() {
+		go func() { //rnavet:allow goleak — process-lifetime pprof listener; it serves until the gateway process exits and has nothing to join
 			log.Printf("rnascale gateway pprof on %s/debug/pprof/", *debugAddr)
 			log.Fatal(http.ListenAndServe(*debugAddr, nil))
 		}()

@@ -193,7 +193,14 @@ func main() {
 			if jerr != nil {
 				fatal(jerr)
 			}
-			defer w.Close()
+			// Close flushes the final group commit; an error means the
+			// journal tail may not be durable, which must not look like
+			// a successful resumable run.
+			defer func() {
+				if cerr := w.Close(); cerr != nil {
+					fatal(cerr)
+				}
+			}()
 			cfg.Journal = w
 		}
 		rep, err = rnascale.Run(ds, cfg)

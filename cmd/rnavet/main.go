@@ -1,18 +1,29 @@
-// Command rnavet is rnascale's determinism and simulation-integrity
-// analyzer: a stdlib-only static-analysis driver that loads every
-// package in the module and rejects source-level nondeterminism —
-// wall-clock reads in simulation packages, global math/rand usage,
-// order-dependent emission from map iteration, and wall-clock types
-// leaking across simulation APIs. See internal/analysis for the
-// check catalogue and the //rnavet:allow suppression grammar.
+// Command rnavet is rnascale's determinism, concurrency and
+// durability analyzer: a stdlib-only static-analysis driver that
+// loads every package in the module and rejects source-level contract
+// violations — wall-clock reads in simulation packages, global
+// math/rand usage, order-dependent emission from map iteration,
+// wall-clock types leaking across simulation APIs, unjoined
+// goroutines, mutexes held across blocking operations, dropped
+// durability errors, and unbounded metric label values. See
+// internal/analysis for the check catalogue and the //rnavet:allow
+// suppression grammar.
 //
 // Usage:
 //
-//	rnavet [-json] [-checks wallclock,maporder] [packages]
+//	rnavet [-json] [-checks goleak,errdrop] [-pkg internal/journal]
+//	       [-cache build/rnavet-cache] [packages]
 //
-// With no packages, ./... is analyzed. Findings print one per line as
-// "file:line:col [check] message"; -json emits a machine-readable
-// report instead. A one-line summary (checks run, files scanned,
+// With no packages, ./... is analyzed. -pkg restricts analysis to the
+// named packages plus their reverse dependencies within the module
+// (comma-separated; "/..." wildcards accepted) — the incremental mode
+// for iterating on one subsystem. -cache keeps the `go list -deps
+// -export` snapshot on disk keyed on go.mod + source hashes, so
+// repeated runs skip the go-tool walk when nothing changed.
+//
+// Findings print one per line as "file:line:col [check] message";
+// -json emits a machine-readable report instead, stamped with the
+// schema version. A one-line summary (checks run, files scanned,
 // findings) always goes to stderr, so `make lint` is self-describing
 // in logs. Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
@@ -30,10 +41,12 @@ func main() {
 	var (
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON on stdout")
 		checkSel = flag.String("checks", "", "comma-separated subset of checks to run (default all)")
+		pkgSel   = flag.String("pkg", "", "comma-separated packages to focus on (plus their reverse deps in the module)")
+		cacheDir = flag.String("cache", "", "directory for the go-list cache (empty disables caching)")
 		listOut  = flag.Bool("list", false, "list available checks and exit")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: rnavet [-json] [-checks c1,c2] [-list] [packages]\n\nchecks:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rnavet [-json] [-checks c1,c2] [-pkg p1,p2] [-cache dir] [-list] [packages]\n\nchecks:\n")
 		for _, c := range analysis.Checks() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", c.Name(), c.Doc())
 		}
@@ -48,28 +61,21 @@ func main() {
 		return
 	}
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, loader, err := analysis.LoadModule(cwd, patterns...)
+	load := analysis.LoadOptions{
+		Patterns: flag.Args(),
+		CacheDir: *cacheDir,
+		Focus:    splitList(*pkgSel),
+	}
+	pkgs, loader, err := analysis.LoadModuleOptions(cwd, load)
 	if err != nil {
 		fatal(err)
 	}
 
-	opts := analysis.Options{IOWriter: loader.IOWriter()}
-	if *checkSel != "" {
-		for _, name := range strings.Split(*checkSel, ",") {
-			if name = strings.TrimSpace(name); name != "" {
-				opts.Checks = append(opts.Checks, name)
-			}
-		}
-	}
+	opts := analysis.Options{IOWriter: loader.IOWriter(), Checks: splitList(*checkSel)}
 	res, err := analysis.Run(pkgs, opts)
 	if err != nil {
 		fatal(err)
@@ -87,6 +93,17 @@ func main() {
 	if len(res.Findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

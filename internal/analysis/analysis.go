@@ -27,6 +27,21 @@
 //   - vtimeleak:  exported functions in simulation packages must not
 //     accept or return time.Time/time.Duration; virtual quantities
 //     use vclock.Time/vclock.Duration.
+//   - goleak:     every go statement needs a provable join path —
+//     WaitGroup Add/Wait pairing in the spawning function, a stored
+//     WaitGroup with Done in the body and Wait elsewhere in the
+//     package, or a completion channel the body closes/sends on and
+//     somebody receives from.
+//   - lockheld:   no sync.Mutex/RWMutex held across a blocking
+//     operation (file Sync/Write, channel send/receive, select
+//     without default, net/http, journal Append/Sync/Close), no lock
+//     copied by value, no lock-order inversion between functions.
+//   - errdrop:    errors from durability-critical calls (journal
+//     Append/Sync/Close/Repair, os.File.Sync) must be handled — not
+//     discarded, blanked, deferred away, or assigned and never read.
+//   - metriccard: metric label values in obs.Labels literals must be
+//     compile-time constants or closed-enum values, so label
+//     cardinality is bounded at compile time module-wide.
 //
 // # Simulation packages
 //
@@ -80,6 +95,10 @@ func Checks() []Check {
 		&GlobalRandCheck{},
 		&MapOrderCheck{},
 		&VTimeLeakCheck{},
+		&GoleakCheck{},
+		&LockheldCheck{},
+		&ErrDropCheck{},
+		&MetricCardCheck{},
 	}
 }
 

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// cacheSchema versions the on-disk cache entry layout; bump it to
+// orphan every existing entry when listedPackage's shape changes.
+const cacheSchema = "rnavet-golist/v1"
+
+// GoListCached is GoList with an on-disk cache under cacheDir. The
+// cache key hashes the toolchain version, the list arguments, go.mod,
+// and the path and content of every .go file in the module — content,
+// not just mtimes, because the Export paths in the cached result
+// point into the go build cache, which is content-addressed: an
+// edited file would otherwise silently type-check against the old
+// export data. A hit also stats every cached Export file and falls
+// back to a fresh go list when the build cache was trimmed. The
+// second return value reports whether the result came from the cache.
+func GoListCached(dir, cacheDir string, patterns ...string) ([]*listedPackage, bool, error) {
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, false, err
+	}
+	key, err := cacheKey(root, patterns)
+	if err != nil {
+		return nil, false, err
+	}
+	entry := filepath.Join(cacheDir, "golist-"+key+".json")
+	if b, err := os.ReadFile(entry); err == nil {
+		var pkgs []*listedPackage
+		if json.Unmarshal(b, &pkgs) == nil && exportsAlive(pkgs) {
+			return pkgs, true, nil
+		}
+	}
+
+	pkgs, err := GoList(dir, patterns...)
+	if err != nil {
+		return nil, false, err
+	}
+	// Best effort: a read-only build dir must not fail the lint.
+	if err := os.MkdirAll(cacheDir, 0o755); err == nil {
+		dropStaleEntries(cacheDir, filepath.Base(entry))
+		if b, err := json.Marshal(pkgs); err == nil {
+			tmp := entry + ".tmp"
+			if os.WriteFile(tmp, b, 0o644) == nil {
+				_ = os.Rename(tmp, entry)
+			}
+		}
+	}
+	return pkgs, false, nil
+}
+
+// cacheKey hashes everything the go list output can depend on.
+func cacheKey(root string, patterns []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheSchema)
+	fmt.Fprintln(h, runtime.Version())
+	fmt.Fprintln(h, strings.Join(patterns, "\x00"))
+
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	h.Write(gomod)
+
+	files, err := moduleGoFiles(root)
+	if err != nil {
+		return "", err
+	}
+	for _, path := range files {
+		fmt.Fprintln(h, path)
+		f, err := os.Open(filepath.Join(root, path))
+		if err != nil {
+			return "", err
+		}
+		_, cerr := io.Copy(h, f)
+		f.Close()
+		if cerr != nil {
+			return "", cerr
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:24], nil
+}
+
+// moduleGoFiles returns every .go file under root, sorted, as
+// slash-separated relative paths — skipping build output, VCS
+// metadata, and analyzer fixtures (testdata does not influence go
+// list).
+func moduleGoFiles(root string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "build", ".git", "testdata":
+				if path != root {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		files = append(files, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// exportsAlive reports whether every export file the cached result
+// references still exists (the go build cache may have been trimmed
+// since the entry was written).
+func exportsAlive(pkgs []*listedPackage) bool {
+	for _, p := range pkgs {
+		if p.Export == "" {
+			continue
+		}
+		if _, err := os.Stat(p.Export); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// dropStaleEntries removes every golist-*.json entry except keep: a
+// new key means the old snapshots can never hit again.
+func dropStaleEntries(cacheDir, keep string) {
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == keep || !strings.HasPrefix(name, "golist-") {
+			continue
+		}
+		_ = os.Remove(filepath.Join(cacheDir, name))
+	}
+}

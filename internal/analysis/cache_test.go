@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoListCachedRoundTrip pins the cache lifecycle on a throwaway
+// module: a cold call misses and writes an entry, an identical call
+// hits, and editing any source file invalidates the key.
+func TestGoListCachedRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	root := writeTree(t, map[string]string{
+		"go.mod":  "module cached\n\ngo 1.22\n",
+		"main.go": "package cached\n\nfunc V() int { return 1 }\n",
+	})
+	cacheDir := filepath.Join(root, "build", "rnavet-cache")
+
+	pkgs, hit, err := GoListCached(root, cacheDir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first call must miss the empty cache")
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "cached" {
+		t.Fatalf("unexpected list result: %+v", pkgs)
+	}
+
+	pkgs2, hit, err := GoListCached(root, cacheDir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second identical call must hit the cache")
+	}
+	if len(pkgs2) != 1 || pkgs2[0].ImportPath != "cached" {
+		t.Fatalf("cached result diverged: %+v", pkgs2)
+	}
+
+	// Different patterns key differently even with identical sources.
+	if _, hit, err = GoListCached(root, cacheDir, "."); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Error("a different pattern set must not reuse the ./... entry")
+	}
+
+	// Content edits invalidate: the cached Export paths are
+	// content-addressed, so a stale hit would type-check old code.
+	src := filepath.Join(root, "main.go")
+	if err := os.WriteFile(src, []byte("package cached\n\nfunc V() int { return 2 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err = GoListCached(root, cacheDir, "./..."); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Error("editing a source file must invalidate the cache entry")
+	}
+	if _, hit, err = GoListCached(root, cacheDir, "./..."); err != nil {
+		t.Fatal(err)
+	} else if !hit {
+		t.Error("the post-edit entry must itself be hittable")
+	}
+}
+
+// TestGoListCachedDropsDeadExports simulates a trimmed go build
+// cache: an entry whose Export files vanished must fall back to a
+// fresh go list instead of type-checking against nothing.
+func TestGoListCachedDropsDeadExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	root := writeTree(t, map[string]string{
+		"go.mod":  "module cached\n\ngo 1.22\n",
+		"main.go": "package cached\n\nfunc V() int { return 1 }\n",
+	})
+	cacheDir := filepath.Join(root, "build", "rnavet-cache")
+	if _, _, err := GoListCached(root, cacheDir, "./..."); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the entry in place: point its Export somewhere dead
+	// without touching sources, so the key still matches.
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want exactly one cache entry, got %v (%v)", entries, err)
+	}
+	entry := filepath.Join(cacheDir, entries[0].Name())
+	if err := os.WriteFile(entry, []byte(`[{"ImportPath":"cached","Export":"/nonexistent/export.a"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, hit, err := GoListCached(root, cacheDir, "./..."); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Error("an entry referencing dead export data must be treated as a miss")
+	}
+}

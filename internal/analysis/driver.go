@@ -19,8 +19,17 @@ type Options struct {
 	IOWriter *types.Interface
 }
 
+// SchemaVersion identifies the JSON report layout emitted by
+// WriteJSON. Downstream tooling pins on it; bump it whenever the
+// Result or Diagnostic field set changes shape, and update the
+// schema golden test.
+const SchemaVersion = "rnavet/v2"
+
 // A Result is the outcome of analyzing a set of packages.
 type Result struct {
+	// Schema is SchemaVersion, stamped on every run so a consumer can
+	// reject reports it does not understand.
+	Schema string `json:"schema"`
 	// Checks lists the checks that ran, in catalogue order.
 	Checks []string `json:"checks"`
 	// Packages and FilesScanned size the run.
@@ -55,7 +64,7 @@ func Run(pkgs []*Package, opts Options) (*Result, error) {
 		}
 	}
 	ran := make(map[string]bool, len(enabled))
-	res := &Result{Packages: len(pkgs)}
+	res := &Result{Schema: SchemaVersion, Packages: len(pkgs)}
 	for _, c := range enabled {
 		ran[c.Name()] = true
 		res.Checks = append(res.Checks, c.Name())

@@ -19,7 +19,7 @@ func fixtureLoader(t *testing.T) *Loader {
 	if err != nil {
 		t.Fatal(err)
 	}
-	listed, err := GoList(root, "time", "math/rand", "sort", "bytes", "fmt", "strings", "io", "encoding/json")
+	listed, err := GoList(root, "time", "math/rand", "sort", "bytes", "fmt", "strings", "io", "encoding/json", "sync", "os")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,16 +29,23 @@ func fixtureLoader(t *testing.T) *Loader {
 // fixtures pairs each golden fixture package with the single check
 // its golden pins. Running one check per fixture keeps each golden
 // focused: it demonstrates both the caught violations and the
-// respected allow directives of exactly that check.
+// respected allow directives of exactly that check. importPath
+// overrides the default fixture/<name> when a check keys on the
+// package path (errdrop recognizes journal types by path suffix).
 var fixtures = []struct {
-	name  string
-	check string
+	name       string
+	check      string
+	importPath string
 }{
-	{"wallclock", "wallclock"},
-	{"globalrand", "globalrand"},
-	{"maporder", "maporder"},
-	{"vtimeleak", "vtimeleak"},
-	{"allowbad", "globalrand"},
+	{name: "wallclock", check: "wallclock"},
+	{name: "globalrand", check: "globalrand"},
+	{name: "maporder", check: "maporder"},
+	{name: "vtimeleak", check: "vtimeleak"},
+	{name: "allowbad", check: "globalrand"},
+	{name: "goleak", check: "goleak"},
+	{name: "lockheld", check: "lockheld"},
+	{name: "errdrop", check: "errdrop", importPath: "fixture/errdrop/internal/journal"},
+	{name: "metriccard", check: "metriccard"},
 }
 
 func TestGoldenFixtures(t *testing.T) {
@@ -46,7 +53,11 @@ func TestGoldenFixtures(t *testing.T) {
 	for _, fx := range fixtures {
 		t.Run(fx.name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", fx.name)
-			pkg, err := loader.LoadDir(dir, "fixture/"+fx.name)
+			importPath := fx.importPath
+			if importPath == "" {
+				importPath = "fixture/" + fx.name
+			}
+			pkg, err := loader.LoadDir(dir, importPath)
 			if err != nil {
 				t.Fatal(err)
 			}

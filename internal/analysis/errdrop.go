@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropCheck reports discarded or shadowed errors on
+// durability-critical calls: the journal's Append/Sync/Close/Repair
+// and os.File.Sync. A swallowed fsync error silently voids the
+// torn-tail and hash-chain guarantees — the run looks durable, the
+// disk disagrees, and the divergence only surfaces on the next crash
+// resume, far from the cause.
+//
+// Four shapes are flagged:
+//
+//   - the bare call statement (result discarded entirely);
+//   - assignment of the error result to the blank identifier;
+//   - `defer w.Close()` (the deferred error has nowhere to go —
+//     capture it in a defer closure against a named return);
+//   - assignment to an error variable that is never read afterwards
+//     in the enclosing function (shadowed or dead).
+//
+// Deliberate drops on error-path cleanup (close-on-failed-open, where
+// the original error wins) carry //rnavet:allow errdrop directives.
+type ErrDropCheck struct{}
+
+// Name implements Check.
+func (*ErrDropCheck) Name() string { return "errdrop" }
+
+// Doc implements Check.
+func (*ErrDropCheck) Doc() string {
+	return "errors from durability-critical calls (journal Append/Sync/Close/Repair, os.File.Sync) must be handled"
+}
+
+// Run implements Check.
+func (c *ErrDropCheck) Run(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(p, fd)
+		}
+	}
+}
+
+func (c *ErrDropCheck) checkFunc(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if desc := durabilityCallDesc(p, call); desc != "" {
+					p.Reportf(call.Pos(), "error from %s discarded; a dropped durability error voids the journal's crash guarantees — handle it", desc)
+				}
+			}
+		case *ast.DeferStmt:
+			if desc := durabilityCallDesc(p, n.Call); desc != "" {
+				p.Reportf(n.Pos(), "deferred %s discards its error; capture it in a defer closure against a named return", desc)
+			}
+		case *ast.GoStmt:
+			if desc := durabilityCallDesc(p, n.Call); desc != "" {
+				p.Reportf(n.Pos(), "error from %s discarded by go statement; handle it inside the goroutine", desc)
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(p, fd, n)
+		}
+		return true
+	})
+}
+
+// checkAssign flags blank or never-read error results of a
+// durability call on the right-hand side.
+func (c *ErrDropCheck) checkAssign(p *Pass, fd *ast.FuncDecl, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	desc := durabilityCallDesc(p, call)
+	if desc == "" {
+		return
+	}
+	fn, _ := methodCall(p, call)
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(as.Lhs) {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if !isErrorType(sig.Results().At(i).Type()) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			p.Reportf(id.Pos(), "error from %s assigned to the blank identifier; a dropped durability error voids the journal's crash guarantees — handle it", desc)
+			continue
+		}
+		var obj types.Object = p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = p.Pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if !readAfter(p, fd, obj, as) {
+			p.Reportf(id.Pos(), "error from %s assigned to %q but never read afterwards (shadowed or dead); handle it", desc, id.Name)
+		}
+	}
+}
+
+// readAfter reports whether obj is read after the assignment in the
+// enclosing function. Position-based, with one refinement: inside a
+// loop, a use anywhere in the loop body counts (it executes after the
+// assignment on the next iteration).
+func readAfter(p *Pass, fd *ast.FuncDecl, obj types.Object, as *ast.AssignStmt) bool {
+	searchFrom := as.End()
+	if loop := enclosingLoop(fd, as); loop != nil {
+		searchFrom = loop.Pos()
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() < searchFrom || p.Pkg.Info.Uses[id] != obj {
+			return true
+		}
+		// The identifiers of the assignment itself are writes, not reads.
+		for _, lhs := range as.Lhs {
+			if lhs == n {
+				return true
+			}
+		}
+		// A use on another assignment's LHS is a write, not a read —
+		// unless it is a compound position (index expression etc.),
+		// which we conservatively count as a read.
+		if w, ok := identIsWrite(fd, id); ok && w {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// enclosingLoop returns the innermost for/range statement containing
+// stmt, or nil.
+func enclosingLoop(fd *ast.FuncDecl, stmt ast.Stmt) ast.Stmt {
+	var loop ast.Stmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Body.Pos() <= stmt.Pos() && stmt.End() <= n.Body.End() {
+				loop = n
+			}
+		case *ast.RangeStmt:
+			if n.Body.Pos() <= stmt.Pos() && stmt.End() <= n.Body.End() {
+				loop = n
+			}
+		}
+		return true
+	})
+	return loop
+}
+
+// identIsWrite reports (isWrite, known): whether id appears as a bare
+// left-hand side of some assignment in fd.
+func identIsWrite(fd *ast.FuncDecl, id *ast.Ident) (bool, bool) {
+	write, known := false, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if lhs == id {
+				write, known = true, true
+			}
+		}
+		return !known
+	})
+	return write, known
+}

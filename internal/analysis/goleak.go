@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoleakCheck reports `go` statements with no provable join path. A
+// goroutine that nobody waits for outlives its run: in the gateway it
+// leaks across restarts, in the journal writer it races Close, and in
+// a chaos soak it turns a byte-identical replay into a data race.
+//
+// A spawn is considered joined when any of the following holds:
+//
+//   - WaitGroup pairing in the spawning function: some WaitGroup X has
+//     both X.Add and X.Wait in the function containing the go
+//     statement (the classic fan-out/fan-in shape used by sweep's
+//     pool and the MPI collective simulator);
+//   - stored WaitGroup: the spawned body (a function literal or a
+//     same-package method, resolved through its declaration) calls
+//     X.Done() on a struct field X that some function in the package
+//     calls X.Wait() on (the gateway worker pool: Add in NewServer,
+//     Done in worker, Wait in Close);
+//   - completion channel: the spawned body closes or sends on a
+//     channel that the spawning function receives from, or — for a
+//     struct-field channel — that any function in the package
+//     receives from (the journal flusher: close(w.flusherDone) in the
+//     flusher, <-w.flusherDone in Close).
+//
+// Deliberate process-lifetime daemons carry an //rnavet:allow goleak
+// directive naming why the leak is bounded.
+type GoleakCheck struct{}
+
+// Name implements Check.
+func (*GoleakCheck) Name() string { return "goleak" }
+
+// Doc implements Check.
+func (*GoleakCheck) Doc() string {
+	return "every go statement needs a provable join: WaitGroup pairing, stored-pool Done/Wait, or a completion-channel receive"
+}
+
+// Run implements Check.
+func (c *GoleakCheck) Run(p *Pass) {
+	decls := declIndex(p)
+
+	// Package-wide join evidence, keyed by object identity. For struct
+	// fields the object is shared across instances, so Done in one
+	// method pairs with Wait in another.
+	waited := map[types.Object]bool{}   // WaitGroups with a Wait call anywhere
+	received := map[types.Object]bool{} // channels received from anywhere
+	for _, f := range p.Pkg.Files {
+		collectJoinSinks(p, f, waited, received)
+	}
+
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if gs, ok := n.(*ast.GoStmt); ok {
+					c.checkGo(p, decls, fd, gs, waited, received)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectJoinSinks records every X.Wait() on a WaitGroup and every
+// receive (<-ch, range ch) under node n.
+func collectJoinSinks(p *Pass, n ast.Node, waited, received map[types.Object]bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn, sel := methodCall(p, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+				if named := recvNamed(fn); named != nil && named.Obj().Name() == "WaitGroup" {
+					if obj := finalObj(p, sel.X); obj != nil {
+						waited[obj] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := finalObj(p, n.X); obj != nil {
+					received[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := p.Pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					if obj := finalObj(p, n.X); obj != nil {
+						received[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkGo decides whether one go statement has a join path and
+// reports it when it does not. fd is the top-level function the spawn
+// appears in; evidence from anywhere in fd counts as "same function"
+// even when the spawn sits inside a nested literal (the benchmark
+// kernels wrap Add/go/Wait in setup closures).
+func (c *GoleakCheck) checkGo(p *Pass, decls map[*types.Func]*ast.FuncDecl, fd *ast.FuncDecl, gs *ast.GoStmt, waited, received map[types.Object]bool) {
+	// Local evidence: Adds, Waits and receives in the spawning function.
+	added := map[types.Object]bool{}
+	localWaited := map[types.Object]bool{}
+	localReceived := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn, sel := methodCall(p, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && fn.Name() == "Add" {
+				if named := recvNamed(fn); named != nil && named.Obj().Name() == "WaitGroup" {
+					if obj := finalObj(p, sel.X); obj != nil {
+						added[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	collectJoinSinks(p, fd.Body, localWaited, localReceived)
+
+	// Rule 1: X.Add and X.Wait pair in the spawning function.
+	for obj := range added {
+		if localWaited[obj] {
+			return
+		}
+	}
+
+	// Resolve the spawned body: a literal, or a same-package function
+	// or method declaration.
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if obj := finalObj(p, gs.Call.Fun); obj != nil {
+			if fn, ok := obj.(*types.Func); ok {
+				if d := decls[fn]; d != nil {
+					body = d.Body
+				}
+			}
+		}
+	}
+
+	if body != nil && c.bodyJoins(p, body, localWaited, localReceived, waited, received) {
+		return
+	}
+
+	p.Reportf(gs.Pos(), "goroutine has no provable join path (no WaitGroup Add/Wait pairing, no stored-pool Done/Wait, no completion-channel receive); a leaked goroutine outlives its run")
+}
+
+// bodyJoins reports whether the spawned body signals completion
+// through a WaitGroup Done or a channel close/send that somebody
+// observably waits on. Local variables must be joined in the spawning
+// function; struct fields may be joined anywhere in the package.
+func (c *GoleakCheck) bodyJoins(p *Pass, body *ast.BlockStmt, localWaited, localReceived, waited, received map[types.Object]bool) bool {
+	joined := false
+	observable := func(obj types.Object, local, pkgWide map[types.Object]bool) bool {
+		if obj == nil {
+			return false
+		}
+		if local[obj] {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		return ok && v.IsField() && pkgWide[obj]
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn, sel := methodCall(p, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+				if named := recvNamed(fn); named != nil && named.Obj().Name() == "WaitGroup" {
+					if observable(finalObj(p, sel.X), localWaited, waited) {
+						joined = true
+					}
+				}
+			}
+			if isBuiltin(p, n, "close") && len(n.Args) == 1 {
+				if observable(finalObj(p, n.Args[0]), localReceived, received) {
+					joined = true
+				}
+			}
+		case *ast.SendStmt:
+			if observable(finalObj(p, n.Chan), localReceived, received) {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file holds the light intra-procedural machinery shared by the
+// concurrency and durability checks (goleak, lockheld, errdrop,
+// metriccard): object resolution for identifier/selector chains,
+// receiver classification, and the catalogue of calls treated as
+// blocking or durability-critical. The walks stay deliberately
+// shallow — one function body at a time, one call level for
+// lock-ordering — because the analyzer's job is to keep the obvious
+// invariants obvious, not to prove the absence of every deadlock.
+
+// journalPathSuffix identifies the write-ahead journal package; its
+// Append/Sync/Close/Repair methods are both blocking (they wait on
+// group-commit durability) and durability-critical (their errors void
+// the torn-tail and hash-chain guarantees when dropped). Fixture
+// packages opt in by carrying the suffix in their import path.
+const journalPathSuffix = "internal/journal"
+
+// durabilityMethods are the journal methods whose returned error must
+// never be discarded: a swallowed fsync outcome silently voids the
+// resume and tamper-evidence contracts.
+var durabilityMethods = map[string]bool{
+	"Append": true,
+	"Sync":   true,
+	"Close":  true,
+	"Repair": true,
+}
+
+// declIndex maps each function object to its declaration, so checks
+// can inspect the body of a same-package callee (`go w.flusher()`).
+func declIndex(p *Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					m[fn] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+// finalObj resolves the rightmost identifier of a plain identifier or
+// selector chain (x, s.mu, s.w.file) to its object. For a field
+// selector this is the field's declaration object, which is shared by
+// every instance of the struct — exactly the identity the lock and
+// join analyses want.
+func finalObj(p *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := p.Pkg.Info.Uses[e]; o != nil {
+			return o
+		}
+		return p.Pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return p.Pkg.Info.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return finalObj(p, e.X)
+	}
+	return nil
+}
+
+// methodCall unpacks a selector call, returning the resolved callee
+// and the selector (nil, nil when the call is not selector-shaped).
+func methodCall(p *Pass, call *ast.CallExpr) (*types.Func, *ast.SelectorExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn, _ := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return nil, nil
+	}
+	return fn, sel
+}
+
+// recvNamed returns the named type of a method's receiver (through
+// one pointer), or nil for plain functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	named, _ := derefType(sig.Recv().Type()).(*types.Named)
+	return named
+}
+
+// isMutexType reports whether t (through one pointer) is sync.Mutex
+// or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// typeCarriesMutex reports whether t is a mutex or a struct with a
+// directly embedded or named mutex field — the types whose by-value
+// copies split a critical section in two.
+func typeCarriesMutex(t types.Type) bool {
+	if isMutexType(t) {
+		return true
+	}
+	st, ok := derefType(t).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// lockOp classifies a call as a mutex acquisition (+1) or release
+// (-1), returning the mutex's identity object. sync.Cond.Wait is not
+// an acquisition or a blocking operation here: it releases the mutex
+// while parked, which is the sanctioned way to wait under a lock.
+func lockOp(p *Pass, call *ast.CallExpr) (types.Object, int) {
+	fn, sel := methodCall(p, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, 0
+	}
+	var dir int
+	switch fn.Name() {
+	case "Lock", "RLock":
+		dir = 1
+	case "Unlock", "RUnlock":
+		dir = -1
+	default:
+		return nil, 0
+	}
+	obj := finalObj(p, sel.X)
+	if obj == nil {
+		return nil, 0
+	}
+	// s.mu.Lock() resolves to the mu field; t.Lock() on an embedded
+	// mutex resolves to t, whose type carries the mutex.
+	if !isMutexType(obj.Type()) && !typeCarriesMutex(obj.Type()) {
+		return nil, 0
+	}
+	return obj, dir
+}
+
+// blockingDesc describes a call that can block for an unbounded time
+// — the operations lockheld refuses to see under a held mutex — or
+// returns "". The set is deliberately narrow (file syncs and writes,
+// HTTP, journal durability calls, WaitGroup waits, sleeps): writes to
+// in-memory builders and unknown interface calls stay silent so the
+// check points at real contention, not plumbing.
+func blockingDesc(p *Pass, call *ast.CallExpr) string {
+	fn, _ := methodCall(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	if path == "time" && name == "Sleep" {
+		return "time.Sleep"
+	}
+	if path == "net/http" {
+		return "net/http " + name
+	}
+	named := recvNamed(fn)
+	if named == nil {
+		return ""
+	}
+	if path == "sync" && name == "Wait" && named.Obj().Name() == "WaitGroup" {
+		return "sync.WaitGroup.Wait"
+	}
+	rp, rn := "", named.Obj().Name()
+	if named.Obj().Pkg() != nil {
+		rp = named.Obj().Pkg().Path()
+	}
+	switch {
+	case rp == "os" && rn == "File" &&
+		(name == "Sync" || name == "Write" || name == "WriteString" || name == "ReadFrom"):
+		return "os.File." + name
+	case strings.HasSuffix(rp, journalPathSuffix) && durabilityMethods[name]:
+		return "journal " + rn + "." + name
+	}
+	return ""
+}
+
+// durabilityCallDesc describes a durability-critical call whose error
+// result errdrop requires handled, or returns "": the journal
+// package's Append/Sync/Close/Repair and os.File.Sync (the fsync that
+// makes everything else durable).
+func durabilityCallDesc(p *Pass, call *ast.CallExpr) string {
+	fn, _ := methodCall(p, call)
+	if fn == nil {
+		return ""
+	}
+	named := recvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	rp, rn, name := named.Obj().Pkg().Path(), named.Obj().Name(), fn.Name()
+	if rp == "os" && rn == "File" && name == "Sync" {
+		return "os.File.Sync"
+	}
+	if strings.HasSuffix(rp, journalPathSuffix) && durabilityMethods[name] && signatureReturnsError(fn) {
+		return rn + "." + name
+	}
+	return ""
+}
+
+// signatureReturnsError reports whether any result of fn is error.
+func signatureReturnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isTerminalCall reports syntactically whether call never returns:
+// panic, os.Exit, or a log.Fatal variant. The held-lock merge uses
+// this so branches that die do not poison the fall-through state.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		return name == "Fatal" || name == "Fatalf" || name == "Fatalln" || name == "Exit"
+	}
+	return false
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

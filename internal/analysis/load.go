@@ -124,17 +124,49 @@ func ExportMap(pkgs []*listedPackage) map[string]string {
 	return m
 }
 
+// LoadOptions configures LoadModuleOptions.
+type LoadOptions struct {
+	// Patterns are the go list patterns; empty means ./... .
+	Patterns []string
+	// CacheDir, when non-empty, caches the `go list -deps -export`
+	// result on disk keyed on the module's go.mod and source hashes
+	// (see GoListCached), so repeated lints skip the go-tool walk.
+	CacheDir string
+	// Focus, when non-empty, restricts parsing and type-checking to
+	// the local packages matching these patterns plus every local
+	// package that (transitively) depends on one of them — the
+	// reverse-dependency cone a change to those packages can affect.
+	// Patterns accept an import path, a module-relative path
+	// ("./internal/journal" or "internal/journal"), and a trailing
+	// "/..." wildcard.
+	Focus []string
+}
+
 // LoadModule loads, parses and type-checks every package matched by
 // patterns (typically "./...") in the module containing dir. Test
 // files are excluded: the checks guard production simulation code,
 // and tests legitimately touch wall clocks.
 func LoadModule(dir string, patterns ...string) ([]*Package, *Loader, error) {
+	return LoadModuleOptions(dir, LoadOptions{Patterns: patterns})
+}
+
+// LoadModuleOptions is LoadModule with list caching and package
+// focusing.
+func LoadModuleOptions(dir string, opts LoadOptions) ([]*Package, *Loader, error) {
+	patterns := opts.Patterns
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	// "io" rides along so maporder can resolve io.Writer even if no
 	// analyzed package depends on it.
-	listed, err := GoList(dir, append([]string{"io"}, patterns...)...)
+	args := append([]string{"io"}, patterns...)
+	var listed []*listedPackage
+	var err error
+	if opts.CacheDir != "" {
+		listed, _, err = GoListCached(dir, opts.CacheDir, args...)
+	} else {
+		listed, err = GoList(dir, args...)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -155,6 +187,12 @@ func LoadModule(dir string, patterns ...string) ([]*Package, *Loader, error) {
 		}
 	}
 	sort.Slice(locals, func(i, j int) bool { return locals[i].ImportPath < locals[j].ImportPath })
+	if len(opts.Focus) > 0 {
+		locals, err = focusPackages(locals, modulePath, opts.Focus)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 
 	var pkgs []*Package
 	for _, lp := range locals {
@@ -169,6 +207,62 @@ func LoadModule(dir string, patterns ...string) ([]*Package, *Loader, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, loader, nil
+}
+
+// focusPackages returns the local packages matching the focus
+// patterns plus every local package whose (transitive) dependencies
+// include a matched one. go list's Deps field is already transitive,
+// so one membership scan closes the reverse-dependency cone.
+func focusPackages(locals []*listedPackage, modulePath string, focus []string) ([]*listedPackage, error) {
+	selected := map[string]bool{}
+	for _, lp := range locals {
+		for _, pat := range focus {
+			if matchFocusPattern(lp.ImportPath, modulePath, pat) {
+				selected[lp.ImportPath] = true
+				break
+			}
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("analysis: -pkg %s matches no package in module %s", strings.Join(focus, ","), modulePath)
+	}
+	var out []*listedPackage
+	for _, lp := range locals {
+		if selected[lp.ImportPath] {
+			out = append(out, lp)
+			continue
+		}
+		for _, d := range lp.Deps {
+			if selected[d] {
+				out = append(out, lp)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// matchFocusPattern matches one focus pattern against a local import
+// path. "rnascale/internal/journal", "internal/journal" and
+// "./internal/journal" all name the same package; a trailing "/..."
+// also selects everything below it.
+func matchFocusPattern(importPath, modulePath, pat string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	wild := pat == "..." || strings.HasSuffix(pat, "/...")
+	pat = strings.TrimSuffix(pat, "...")
+	pat = strings.TrimSuffix(pat, "/")
+	if pat == "" || pat == "." {
+		return wild // "./..." selects every local package
+	}
+	for _, full := range []string{pat, modulePath + "/" + pat} {
+		if importPath == full {
+			return true
+		}
+		if wild && strings.HasPrefix(importPath, full+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // LoadDir loads a single directory as one package — the entry point

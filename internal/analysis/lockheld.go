@@ -1,0 +1,437 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockheldCheck enforces three mutex disciplines, all intra-procedural:
+//
+//   - no blocking operation while a sync.Mutex/RWMutex is held: file
+//     Sync/Write, channel send/receive, select without default,
+//     net/http calls, journal Append/Sync/Close, sleeps and WaitGroup
+//     waits. The group-commit batcher and the gateway event log are
+//     one refactor away from a lock-ordering deadlock here, so the
+//     deliberate cases (the segmented event log serializes appends
+//     under its mutex by design) carry allows instead of relying on
+//     review memory.
+//   - no lock copied by value: a function whose receiver or parameter
+//     carries a mutex by value splits the critical section between
+//     the copy and the original.
+//   - no lock-order inversion: if one function acquires B while
+//     holding A and another acquires A while holding B (directly or
+//     via a same-package callee's first-level acquisitions), both
+//     sites are reported.
+//
+// The held-set walk is a simple abstract interpretation over
+// statements: branches fork a copy, fall-through merges by
+// intersection, branches that end in return/panic do not contribute,
+// and `defer mu.Unlock()` keeps the lock held to the end of the
+// function. Function literals get their own walk with an empty held
+// set — a goroutine does not inherit its parent's locks.
+// sync.Cond.Wait is deliberately not a blocking operation: it
+// releases the mutex while parked.
+type LockheldCheck struct{}
+
+// Name implements Check.
+func (*LockheldCheck) Name() string { return "lockheld" }
+
+// Doc implements Check.
+func (*LockheldCheck) Doc() string {
+	return "no blocking operation, lock copy, or lock-order inversion while a mutex is held"
+}
+
+// heldLock is one held mutex, remembered with where it was acquired
+// so diagnostics can point at both ends.
+type heldLock struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// lockPairSite records "inner acquired while outer held" with the
+// position of the inner acquisition (or the call that performs it).
+type lockPairSite struct {
+	outer, inner types.Object
+	pos          token.Pos
+}
+
+type lockheldWalker struct {
+	p        *Pass
+	acquires map[*types.Func][]types.Object // direct acquisitions per declared function
+	pairs    []lockPairSite                 // in deterministic walk order
+}
+
+// Run implements Check.
+func (c *LockheldCheck) Run(p *Pass) {
+	w := &lockheldWalker{p: p, acquires: map[*types.Func][]types.Object{}}
+
+	// Pass 1: each declared function's directly acquired mutexes, for
+	// the one-level callee expansion of the ordering analysis.
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var objs []types.Object
+			seen := map[types.Object]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if obj, dir := lockOp(p, call); dir == 1 && !seen[obj] {
+						seen[obj] = true
+						objs = append(objs, obj)
+					}
+				}
+				return true
+			})
+			if len(objs) > 0 {
+				w.acquires[fn] = objs
+			}
+		}
+	}
+
+	// Pass 2: walk every function body with a held set; function
+	// literals are walked independently (empty held set).
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			c.checkCopies(p, fd)
+			if fd.Body == nil {
+				continue
+			}
+			w.walkBody(fd.Body)
+		}
+	}
+
+	c.reportInversions(p, w.pairs)
+}
+
+// checkCopies reports mutex-bearing receivers and parameters passed
+// by value.
+func (c *LockheldCheck) checkCopies(p *Pass, fd *ast.FuncDecl) {
+	flag := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.Pkg.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if typeCarriesMutex(t) {
+				p.Reportf(field.Pos(), "%s copies a mutex by value; the copy and the original no longer exclude each other — use a pointer", what)
+			}
+		}
+	}
+	flag(fd.Recv, "receiver")
+	if fd.Type != nil {
+		flag(fd.Type.Params, "parameter")
+	}
+}
+
+// walkBody walks one function body (declared function or literal)
+// with a fresh held set, and recursively dispatches every function
+// literal it encounters.
+func (w *lockheldWalker) walkBody(body *ast.BlockStmt) {
+	var held []heldLock
+	w.walkStmts(body.List, &held)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.walkBody(fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// walkStmts interprets a statement list against the held set,
+// returning whether the list ends by leaving the function (return,
+// branch, panic, fatal exit).
+func (w *lockheldWalker) walkStmts(stmts []ast.Stmt, held *[]heldLock) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockheldWalker) walkStmt(s ast.Stmt, held *[]heldLock) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, held)
+		if call, ok := s.X.(*ast.CallExpr); ok && isTerminalCall(call) {
+			return true
+		}
+	case *ast.SendStmt:
+		w.reportIfHeld(*held, s.Pos(), "channel send")
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scanExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end; any
+		// other deferred call runs after the body, so its blocking
+		// behavior is not "under the lock" in a way this walk can
+		// order — skip it. The deferred expression's own arguments
+		// are evaluated now, though.
+		if obj, dir := lockOp(w.p, s.Call); obj != nil && dir == -1 {
+			return false
+		}
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held)
+		}
+	case *ast.GoStmt:
+		// The spawned call runs elsewhere with no inherited locks;
+		// only its argument expressions evaluate here.
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		thenHeld := copyHeld(*held)
+		thenTerm := w.walkStmts(s.Body.List, &thenHeld)
+		elseHeld := copyHeld(*held)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, &elseHeld)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*held = elseHeld
+		case elseTerm:
+			*held = thenHeld
+		default:
+			*held = intersectHeld(thenHeld, elseHeld)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held)
+		}
+		bodyHeld := copyHeld(*held)
+		w.walkStmts(s.Body.List, &bodyHeld)
+		if s.Post != nil {
+			w.walkStmt(s.Post, &bodyHeld)
+		}
+		// Assume the loop body is lock-balanced; keep the pre-loop set.
+	case *ast.RangeStmt:
+		if t := w.p.Pkg.Info.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.reportIfHeld(*held, s.Pos(), "channel receive (range)")
+			}
+		}
+		w.scanExpr(s.X, held)
+		bodyHeld := copyHeld(*held)
+		w.walkStmts(s.Body.List, &bodyHeld)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.scanExpr(e, held)
+				}
+				clauseHeld := copyHeld(*held)
+				w.walkStmts(cc.Body, &clauseHeld)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				clauseHeld := copyHeld(*held)
+				w.walkStmts(cc.Body, &clauseHeld)
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.reportIfHeld(*held, s.Pos(), "select without default")
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				clauseHeld := copyHeld(*held)
+				w.walkStmts(cc.Body, &clauseHeld)
+			}
+		}
+	}
+	return false
+}
+
+// scanExpr walks an expression in evaluation order-ish preorder,
+// applying lock operations, reporting blocking calls and receives
+// while a lock is held, and recording ordering pairs. Function
+// literal bodies are skipped (walkBody handles them with a fresh
+// held set).
+func (w *lockheldWalker) scanExpr(e ast.Expr, held *[]heldLock) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.reportIfHeld(*held, n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			w.applyCall(n, held)
+		}
+		return true
+	})
+}
+
+// applyCall handles one call against the held set.
+func (w *lockheldWalker) applyCall(call *ast.CallExpr, held *[]heldLock) {
+	if obj, dir := lockOp(w.p, call); obj != nil {
+		if dir == 1 {
+			for _, h := range *held {
+				if h.obj != obj {
+					w.pairs = append(w.pairs, lockPairSite{outer: h.obj, inner: obj, pos: call.Pos()})
+				}
+			}
+			*held = append(*held, heldLock{obj: obj, pos: call.Pos()})
+		} else {
+			*held = removeHeld(*held, obj)
+		}
+		return
+	}
+	if desc := blockingDesc(w.p, call); desc != "" {
+		w.reportIfHeld(*held, call.Pos(), desc)
+		return
+	}
+	// Same-package callee: its direct acquisitions order after every
+	// currently held lock.
+	if obj := finalObj(w.p, call.Fun); obj != nil {
+		if fn, ok := obj.(*types.Func); ok {
+			for _, inner := range w.acquires[fn] {
+				for _, h := range *held {
+					if h.obj != inner {
+						w.pairs = append(w.pairs, lockPairSite{outer: h.obj, inner: inner, pos: call.Pos()})
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *lockheldWalker) reportIfHeld(held []heldLock, pos token.Pos, what string) {
+	if len(held) == 0 {
+		return
+	}
+	h := held[len(held)-1]
+	w.p.Reportf(pos, "%s while %q is held (acquired at %s); a blocked holder stalls every other critical section", what, h.obj.Name(), w.p.Pkg.Fset.Position(h.pos))
+}
+
+// reportInversions finds pairs acquired in both orders and reports
+// each site, naming the opposite-order location.
+func (c *LockheldCheck) reportInversions(p *Pass, pairs []lockPairSite) {
+	type key struct{ outer, inner types.Object }
+	first := map[key]token.Pos{}
+	for _, pr := range pairs {
+		k := key{pr.outer, pr.inner}
+		if _, ok := first[k]; !ok {
+			first[k] = pr.pos
+		}
+	}
+	reported := map[token.Pos]bool{}
+	for _, pr := range pairs {
+		opp, ok := first[key{pr.inner, pr.outer}]
+		if !ok || reported[pr.pos] {
+			continue
+		}
+		reported[pr.pos] = true
+		p.Reportf(pr.pos, "lock order inversion: %q acquired while %q is held, but the opposite order occurs at %s — pick one order", pr.inner.Name(), pr.outer.Name(), p.Pkg.Fset.Position(opp))
+	}
+}
+
+func copyHeld(held []heldLock) []heldLock {
+	out := make([]heldLock, len(held))
+	copy(out, held)
+	return out
+}
+
+func removeHeld(held []heldLock, obj types.Object) []heldLock {
+	var out []heldLock
+	for _, h := range held {
+		if h.obj != obj {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func intersectHeld(a, b []heldLock) []heldLock {
+	var out []heldLock
+	for _, h := range a {
+		for _, g := range b {
+			if h.obj == g.obj {
+				out = append(out, h)
+				break
+			}
+		}
+	}
+	return out
+}

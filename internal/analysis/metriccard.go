@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MetricCardCheck enforces constant metric cardinality statically:
+// every label value in an obs.Labels literal must be provably drawn
+// from a bounded set at compile time. The per-surface tests pin
+// cardinality dynamically for the series they exercise; this check
+// makes the property module-wide, so a new call site cannot leak an
+// unbounded string (run ID, tenant name, error text) into a label and
+// blow up the registry.
+//
+// A label value passes when it is:
+//
+//   - a compile-time constant (literal, named constant, or any
+//     expression go/types folds to a constant);
+//   - a conversion from a closed enum — string(status) where the
+//     operand's type is a defined type with at least one package-level
+//     constant of that exact type;
+//   - a String() call on a closed enum value (cloud.Backend);
+//   - a local variable whose every assignment in the enclosing
+//     function is one of the above (the start := "warm"; if cold
+//     { start = "cold" } idiom).
+//
+// The check keys on the type's name and shape (a named map[string]string
+// called Labels), not on the import path, so fixtures can declare
+// their own obs-shaped registry.
+type MetricCardCheck struct{}
+
+// Name implements Check.
+func (*MetricCardCheck) Name() string { return "metriccard" }
+
+// Doc implements Check.
+func (*MetricCardCheck) Doc() string {
+	return "metric label values must be compile-time constants or closed-enum values"
+}
+
+// Run implements Check.
+func (c *MetricCardCheck) Run(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok && isLabelsLiteral(p, lit) {
+				c.checkLiteral(p, lit, enclosingFuncDecl(f, lit.Pos()))
+			}
+			return true
+		})
+	}
+}
+
+// enclosingFuncDecl returns the top-level function declaration whose
+// body contains pos, or nil (package-level literal).
+func enclosingFuncDecl(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil &&
+			fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// isLabelsLiteral reports whether lit is a non-empty composite
+// literal of a named map[string]string type called Labels.
+func isLabelsLiteral(p *Pass, lit *ast.CompositeLit) bool {
+	if len(lit.Elts) == 0 {
+		return false
+	}
+	t := p.Pkg.Info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Labels" {
+		return false
+	}
+	m, ok := named.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	k, kok := m.Key().(*types.Basic)
+	v, vok := m.Elem().(*types.Basic)
+	return kok && vok && k.Kind() == types.String && v.Kind() == types.String
+}
+
+func (c *MetricCardCheck) checkLiteral(p *Pass, lit *ast.CompositeLit, enclosing *ast.FuncDecl) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if c.boundedValue(p, kv.Value, enclosing) {
+			continue
+		}
+		key := "label"
+		if tv, ok := p.Pkg.Info.Types[kv.Key]; ok && tv.Value != nil {
+			key = "label " + tv.Value.String()
+		}
+		p.Reportf(kv.Value.Pos(), "%s value is not a compile-time constant or closed-enum value; unbounded label values blow up metric cardinality — use a closed enum or bucket the value", key)
+	}
+}
+
+// boundedValue reports whether e is provably drawn from a bounded set.
+func (c *MetricCardCheck) boundedValue(p *Pass, e ast.Expr, enclosing *ast.FuncDecl) bool {
+	e = ast.Unparen(e)
+	if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		// string(enumValue) — a conversion from a closed enum.
+		if tv, ok := p.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			if t := p.Pkg.Info.TypeOf(call.Args[0]); t != nil && isClosedEnum(t) {
+				return true
+			}
+		}
+		// enumValue.String().
+		if fn, sel := methodCall(p, call); fn != nil && fn.Name() == "String" {
+			if t := p.Pkg.Info.TypeOf(sel.X); t != nil && isClosedEnum(derefType(t)) {
+				return true
+			}
+		}
+		return false
+	}
+	if id, ok := e.(*ast.Ident); ok && enclosing != nil {
+		if obj, ok := p.Pkg.Info.Uses[id].(*types.Var); ok && !obj.IsField() {
+			return c.constOnlyLocal(p, obj, enclosing)
+		}
+	}
+	return false
+}
+
+// isClosedEnum reports whether t is a defined type with a basic
+// underlying type and at least one package-level constant of exactly
+// that type — the closed-enum convention (gateway.RunStatus,
+// faults.Class, cloud.Backend).
+func isClosedEnum(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if _, ok := named.Underlying().(*types.Basic); !ok {
+		return false
+	}
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		if cst, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(cst.Type(), t) {
+			return true
+		}
+	}
+	return false
+}
+
+// constOnlyLocal reports whether every write to obj in the enclosing
+// function assigns a compile-time constant. Zero observed writes (a
+// parameter, or a var fed from elsewhere) is not bounded.
+func (c *MetricCardCheck) constOnlyLocal(p *Pass, obj *types.Var, fd *ast.FuncDecl) bool {
+	writes, allConst := 0, true
+	record := func(rhs ast.Expr) {
+		writes++
+		if tv, ok := p.Pkg.Info.Types[ast.Unparen(rhs)]; !ok || tv.Value == nil {
+			allConst = false
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if p.Pkg.Info.Defs[id] == obj || p.Pkg.Info.Uses[id] == obj {
+						record(n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if p.Pkg.Info.Defs[name] == obj && i < len(n.Values) {
+					record(n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return writes > 0 && allConst
+}

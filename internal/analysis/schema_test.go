@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportSchemaGolden pins the JSON report shape byte for byte.
+// Downstream tooling keys on the schema field and the finding layout;
+// any change here must come with a SchemaVersion bump and a conscious
+// regeneration via `go test -update`.
+func TestReportSchemaGolden(t *testing.T) {
+	res := &Result{
+		Schema:       SchemaVersion,
+		Checks:       []string{"goleak", "errdrop"},
+		Packages:     2,
+		FilesScanned: 5,
+		Findings: []Diagnostic{{
+			File:    "internal/example/example.go",
+			Line:    12,
+			Col:     3,
+			Check:   "errdrop",
+			Message: "error from (*journal.Writer).Append discarded",
+		}},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "golden", "schema.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON report shape changed — bump SchemaVersion and regenerate with -update.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSchemaVersionPinned keeps the constant itself from drifting
+// silently: the golden above would catch a field change, this catches
+// an accidental edit to the version string alone.
+func TestSchemaVersionPinned(t *testing.T) {
+	if SchemaVersion != "rnavet/v2" {
+		t.Errorf("SchemaVersion = %q; a version change must be deliberate and documented in DESIGN.md", SchemaVersion)
+	}
+}

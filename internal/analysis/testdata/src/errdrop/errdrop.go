@@ -1,0 +1,85 @@
+// Package errdrop is a golden fixture for the errdrop check. It is
+// loaded under the import path fixture/errdrop/internal/journal, so
+// its own Writer stands in for the real journal types the check
+// recognizes by package-path suffix.
+package errdrop
+
+import "os"
+
+// Record is one journal record.
+type Record struct{ Seq int }
+
+// Writer is the fixture's durability-critical writer.
+type Writer struct{ f *os.File }
+
+// Append appends one record.
+func (w *Writer) Append(rec Record) (Record, error) { return rec, nil }
+
+// Sync forces the journal to disk.
+func (w *Writer) Sync() error { return nil }
+
+// Close flushes and closes the journal.
+func (w *Writer) Close() error { return nil }
+
+// Repair truncates a torn tail.
+func (w *Writer) Repair() error { return nil }
+
+// DiscardAll drops every durability error on the floor.
+func DiscardAll(w *Writer, f *os.File) {
+	w.Append(Record{})
+	w.Sync()
+	f.Sync()
+}
+
+// BlankAll discards through the blank identifier.
+func BlankAll(w *Writer) {
+	_, _ = w.Append(Record{})
+	_ = w.Close()
+}
+
+// DeferredClose has nowhere to put the deferred error.
+func DeferredClose(w *Writer) {
+	defer w.Close()
+}
+
+// DeadAssign reassigns err after its last read; the second append's
+// error is never checked.
+func DeadAssign(w *Writer) error {
+	_, err := w.Append(Record{Seq: 1})
+	if err != nil {
+		return err
+	}
+	_, err = w.Append(Record{Seq: 2})
+	return nil
+}
+
+// Checked handles every error — nothing to report.
+func Checked(w *Writer, f *os.File) error {
+	if _, err := w.Append(Record{}); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := w.Repair(); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// LoopChecked assigns in a loop and reads the error on the next
+// statement — position-based analysis must not flag it.
+func LoopChecked(w *Writer, recs []Record) error {
+	var err error
+	for _, rec := range recs {
+		if _, err = w.Append(rec); err != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// DeliberateDrop records why the error may be ignored.
+func DeliberateDrop(w *Writer) {
+	_, _ = w.Append(Record{}) //rnavet:allow errdrop — fixture: fail-stop writer; replay falls back to the last durable record
+}

@@ -1,0 +1,93 @@
+// Package goleak is a golden fixture for the goleak check: spawns
+// with no join path are caught; WaitGroup pairing, stored-pool
+// Done/Wait, completion channels and annotated daemons pass.
+package goleak
+
+import "sync"
+
+// Leak spawns a goroutine nobody joins.
+func Leak() {
+	go func() {
+		println("orphan")
+	}()
+}
+
+// LeakNamed spawns a named function with no join evidence anywhere.
+func LeakNamed() {
+	go helper()
+}
+
+func helper() { println("work") }
+
+// Joined pairs Add and Wait in the spawning function — the classic
+// fan-out/fan-in.
+func Joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Pool joins its worker through a stored WaitGroup: Done in the
+// spawned method, Wait in Stop.
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+// Start launches the pool's worker.
+func (p *Pool) Start() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+func (p *Pool) run() {
+	defer p.wg.Done()
+}
+
+// Stop joins the worker.
+func (p *Pool) Stop() {
+	p.wg.Wait()
+}
+
+// Flusher joins through a completion channel: the body closes done,
+// Close receives it.
+type Flusher struct {
+	done chan struct{}
+}
+
+// Start launches the flusher goroutine.
+func (f *Flusher) Start() {
+	f.done = make(chan struct{})
+	go func() {
+		defer close(f.done)
+	}()
+}
+
+// Close waits for the flusher to exit.
+func (f *Flusher) Close() {
+	<-f.done
+}
+
+// LocalSignal joins a local spawn through a local channel received in
+// the same function.
+func LocalSignal() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+// Daemon is a deliberate process-lifetime goroutine; the allow
+// records why the leak is bounded.
+func Daemon(tick chan struct{}) {
+	go func() { //rnavet:allow goleak — fixture: process-lifetime daemon, dies with the process
+		for range tick {
+			println("tick")
+		}
+	}()
+}

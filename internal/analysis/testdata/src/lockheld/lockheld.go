@@ -1,0 +1,120 @@
+// Package lockheld is a golden fixture for the lockheld check:
+// blocking operations under a held mutex, locks copied by value, and
+// lock-order inversions are caught; unlock-before-block, the
+// early-return idiom and annotated deliberate holds pass.
+package lockheld
+
+import (
+	"os"
+	"sync"
+)
+
+// Store guards a channel and a file with a mutex.
+type Store struct {
+	mu sync.Mutex
+	ch chan int
+	f  *os.File
+}
+
+// SendUnderLock sends on a channel while holding mu.
+func (s *Store) SendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v
+	s.mu.Unlock()
+}
+
+// RecvUnderLock receives with the lock held through a deferred
+// unlock.
+func (s *Store) RecvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch
+}
+
+// SyncUnderLock fsyncs while holding the lock.
+func (s *Store) SyncUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// SelectUnderLock parks in a select with no default while holding
+// the lock.
+func (s *Store) SelectUnderLock(stop chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-stop:
+	case v := <-s.ch:
+		println(v)
+	}
+}
+
+// UnlockFirst releases the lock before blocking.
+func (s *Store) UnlockFirst(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// EarlyReturn's taken branch unlocks and returns; the fall-through
+// path never blocks while held.
+func (s *Store) EarlyReturn(ok bool) int {
+	s.mu.Lock()
+	if ok {
+		s.mu.Unlock()
+		return <-s.ch
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// Counter carries a mutex; copying it by value splits the critical
+// section.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Read copies the receiver's mutex.
+func (c Counter) Read() int {
+	return c.n
+}
+
+// Snapshot copies a mutex-bearing struct through a parameter.
+func Snapshot(c Counter) int {
+	return c.n
+}
+
+// Pair acquires its two locks in both orders across two methods —
+// the inversion shape.
+type Pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+// AB locks a then b.
+func (p *Pair) AB() {
+	p.a.Lock()
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// BA locks b then a — the opposite order.
+func (p *Pair) BA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// DeliberateHold keeps the lock across a send by design; the allow
+// records the contract that makes it safe.
+func (s *Store) DeliberateHold(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v //rnavet:allow lockheld — fixture: the channel is buffered and drained by the owner, so the send cannot block
+}

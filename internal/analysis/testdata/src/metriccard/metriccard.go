@@ -1,0 +1,89 @@
+// Package metriccard is a golden fixture for the metriccard check.
+// It declares its own obs-shaped Labels map and registry: the check
+// keys on the named Labels map type, not the import path, so label
+// values here are judged exactly like real obs call sites.
+package metriccard
+
+import "fmt"
+
+// Labels mirrors obs.Labels.
+type Labels map[string]string
+
+// Counter mirrors the obs counter handle.
+type Counter struct{}
+
+// Inc bumps the counter.
+func (c *Counter) Inc() {}
+
+// Registry mirrors the obs registry surface.
+type Registry struct{}
+
+// Counter returns the counter for the given label set.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter { return &Counter{} }
+
+// Status is a closed enum: a defined string type with package-level
+// constants.
+type Status string
+
+// The closed set of Status values.
+const (
+	StatusOK   Status = "ok"
+	StatusFail Status = "fail"
+)
+
+// Backend is a closed int enum with a String method.
+type Backend int
+
+// The closed set of Backend values.
+const (
+	OnDemand Backend = iota
+	Spot
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	if b == Spot {
+		return "spot"
+	}
+	return "ondemand"
+}
+
+const constReason = "timeout"
+
+// Bounded passes: literals, named constants, enum conversions, enum
+// String calls, and a local assigned only constants.
+func Bounded(r *Registry, s Status, b Backend, cold bool) {
+	start := "warm"
+	if cold {
+		start = "cold"
+	}
+	r.Counter("runs_total", "Runs.", Labels{"reason": constReason, "status": string(s)}).Inc()
+	r.Counter("backend_total", "Backends.", Labels{"backend": b.String(), "start": start, "kind": "fixed"}).Inc()
+}
+
+// Unbounded leaks arbitrary strings into label values.
+func Unbounded(r *Registry, user string, n int) {
+	r.Counter("requests_total", "Requests.", Labels{"user": user}).Inc()
+	r.Counter("shards_total", "Shards.", Labels{"shard": fmt.Sprintf("s-%d", n)}).Inc()
+}
+
+// Request carries an unbounded tenant name.
+type Request struct{ Tenant string }
+
+// PerTenant leaks a struct field into a label.
+func PerTenant(r *Registry, q Request) {
+	r.Counter("tenant_total", "Tenants.", Labels{"tenant": q.Tenant}).Inc()
+}
+
+// Rebound flags a local that is reassigned from a parameter — not
+// every write is constant.
+func Rebound(r *Registry, kind string) {
+	k := "fixed"
+	k = kind
+	r.Counter("kinds_total", "Kinds.", Labels{"kind": k}).Inc()
+}
+
+// Allowed records a deliberately data-driven label.
+func Allowed(r *Registry, vmType string) {
+	r.Counter("vm_total", "VMs.", Labels{"type": vmType}).Inc() //rnavet:allow metriccard — fixture: vmType is drawn from the fixed VM catalogue
+}

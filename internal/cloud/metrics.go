@@ -48,7 +48,7 @@ func (p *Provider) countBoot(typeName string, count int) {
 		return
 	}
 	p.metrics.Counter(MetricVMBoots, "VMs booted, by instance type.",
-		obs.Labels{"type": typeName}).Add(float64(count))
+		obs.Labels{"type": typeName}).Add(float64(count)) //rnavet:allow metriccard — typeName is drawn from the fixed instance-type catalogue (DefaultTypes), bounded by construction
 }
 
 // countBootFailure records a rejected RunInstances call, labelled with
@@ -58,7 +58,7 @@ func (p *Provider) countBootFailure(typeName, reason string) {
 		return
 	}
 	p.metrics.Counter(MetricBootFailures, "RunInstances calls rejected, by instance type and reason.",
-		obs.Labels{"type": typeName, "reason": reason}).Inc()
+		obs.Labels{"type": typeName, "reason": reason}).Inc() //rnavet:allow metriccard — typeName is from the fixed instance catalogue and every caller passes a literal reason ("quota", "bootfail", "stockout")
 }
 
 // countInterruption records an applied VM interruption.
@@ -67,7 +67,7 @@ func (p *Provider) countInterruption(vm *VM, class faults.Class) {
 		return
 	}
 	p.metrics.Counter(MetricVMInterruptions, "VMs lost to injected interruptions, by type and fault class.",
-		obs.Labels{"type": vm.Type.Name, "class": string(class)}).Inc()
+		obs.Labels{"type": vm.Type.Name, "class": string(class)}).Inc() //rnavet:allow metriccard — Type.Name is from the fixed instance catalogue; class is the faults.Class enum
 }
 
 // countTermination records a VM's final bill when it terminates. The
@@ -85,7 +85,7 @@ func (p *Provider) countTermination(vm *VM) {
 	if p.opts.HourlyRounding {
 		hours = math.Ceil(hours)
 	}
-	labels := obs.Labels{"type": vm.Type.Name}
+	labels := obs.Labels{"type": vm.Type.Name} //rnavet:allow metriccard — Type.Name is drawn from the fixed instance-type catalogue, bounded by construction
 	p.metrics.Counter(MetricVMTerminated, "VMs terminated, by instance type.", labels).Inc()
 	p.metrics.Counter(MetricVMHours, "Instance-hours billed for terminated VMs.", labels).Add(hours)
 	p.metrics.Counter(MetricCostUSD, "USD billed for terminated VMs.", labels).Add(hours * p.vmRate(vm, at))
@@ -100,7 +100,7 @@ func (p *Provider) countInvocation(inv Invocation) {
 	if inv.Cold {
 		start = "cold"
 	}
-	labels := obs.Labels{"tier": fmt.Sprintf("%ggb", inv.TierGB), "start": start}
+	labels := obs.Labels{"tier": fmt.Sprintf("%ggb", inv.TierGB), "start": start} //rnavet:allow metriccard — TierGB is one of the fixed serverless memory tiers (FnMemoryTiers), so the formatted label set is closed
 	p.metrics.Counter(MetricFnInvocations, "Serverless invocations, by memory tier and start kind.", labels).Inc()
 	p.metrics.Counter(MetricFnCostUSD, "USD billed for serverless invocations, by memory tier and start kind.", labels).Add(inv.USD)
 }

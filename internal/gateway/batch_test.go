@@ -49,7 +49,7 @@ func TestQueueBoundRejects(t *testing.T) {
 func TestSubmitFloodBounded(t *testing.T) {
 	s := NewServer(1)
 	s.SetMaxQueued(2)
-	t.Cleanup(s.Close)
+	t.Cleanup(func() { _ = s.Close() })
 	mux := s.Handler()
 
 	body, _ := json.Marshal(RunRequest{Profile: "tiny", Assemblers: []string{"velvet"}})

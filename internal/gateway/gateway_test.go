@@ -15,7 +15,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	s := NewServer(2)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
-	t.Cleanup(s.Close)
+	t.Cleanup(func() { _ = s.Close() })
 	return s, ts
 }
 

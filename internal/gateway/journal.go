@@ -46,12 +46,12 @@ func (s *Server) EnableJournal(dir string) error {
 	s.mu.Lock()
 	if s.events != nil {
 		s.mu.Unlock()
-		seg.Close()
+		seg.Close() //rnavet:allow errdrop — error-path cleanup of a log we never wrote to; the enable error wins
 		return fmt.Errorf("gateway: journal already enabled")
 	}
 	if len(s.runs) > 0 {
 		s.mu.Unlock()
-		seg.Close()
+		seg.Close() //rnavet:allow errdrop — error-path cleanup of a log we never wrote to; the enable error wins
 		return fmt.Errorf("gateway: enable the journal before accepting submissions")
 	}
 	s.journalDir = dir
@@ -65,7 +65,7 @@ func (s *Server) EnableJournal(dir string) error {
 		if err := json.Unmarshal(rec.Payload, &view); err != nil {
 			s.events = nil
 			s.mu.Unlock()
-			seg.Close()
+			seg.Close() //rnavet:allow errdrop — error-path cleanup; the unmarshal error wins and nothing was appended yet
 			return fmt.Errorf("gateway: event record for %s: %w", rec.Note, err)
 		}
 		id := rec.Note
@@ -131,7 +131,7 @@ func (s *Server) EnableJournal(dir string) error {
 		if err := seg.Compact(snapshot); err != nil {
 			s.events = nil
 			s.mu.Unlock()
-			seg.Close()
+			seg.Close() //rnavet:allow errdrop — error-path cleanup; the compact error wins and already names the failed log
 			return fmt.Errorf("gateway: compact event log: %w", err)
 		}
 	}
@@ -162,22 +162,29 @@ func (s *Server) logEventLocked(id string) {
 	if err != nil {
 		return
 	}
-	_, _ = s.events.Append(journal.Record{Kind: journal.KindEvent, Note: id, Payload: b})
+	_, _ = s.events.Append(journal.Record{Kind: journal.KindEvent, Note: id, Payload: b}) //rnavet:allow errdrop — fail-stop by design: after an append error the log stops growing and replay falls back to the last durable state (see doc comment)
 }
 
 // executeRun runs one pipeline run, honoring the run's journal and
 // resume settings: resumeFrom continues an interrupted run's journal
 // in place; otherwise journalPath (when set) makes the run resumable.
-func executeRun(cfg core.Config, ds *simdata.Dataset, journalPath, resumeFrom string) (*core.Report, error) {
+// A close error on the run's journal fails the run: Close flushes the
+// final group commit, so an error there means the journal's tail may
+// not be durable and a later resume could replay stale state.
+func executeRun(cfg core.Config, ds *simdata.Dataset, journalPath, resumeFrom string) (rep *core.Report, err error) {
 	if resumeFrom != "" {
 		return core.Resume(ds, cfg, resumeFrom)
 	}
 	if journalPath != "" {
-		w, err := journal.Create(journalPath)
-		if err != nil {
-			return nil, err
+		w, cerr := journal.Create(journalPath)
+		if cerr != nil {
+			return nil, cerr
 		}
-		defer w.Close()
+		defer func() {
+			if cerr := w.Close(); cerr != nil && err == nil {
+				rep, err = nil, fmt.Errorf("close run journal: %w", cerr)
+			}
+		}()
 		cfg.Journal = w
 	}
 	return core.Run(ds, cfg)

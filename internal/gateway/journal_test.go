@@ -37,7 +37,7 @@ func newJournaledServer(t *testing.T, dir string) (*Server, *httptest.Server) {
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
-	t.Cleanup(s.Close)
+	t.Cleanup(func() { _ = s.Close() })
 	return s, ts
 }
 

@@ -86,7 +86,7 @@ func (b *SpanBridge) onEvent(e Event) {
 	defer b.mu.Unlock()
 	if b.o.Metrics != nil && e.From != "" {
 		b.o.Metrics.Counter(MetricTransitions, "Pilot framework state transitions, by kind and target state.",
-			obs.Labels{"kind": string(e.Kind), "to": e.To}).Inc()
+			obs.Labels{"kind": string(e.Kind), "to": e.To}).Inc() //rnavet:allow metriccard — e.To is a PilotState/UnitState machine state name, a finite set fixed at compile time
 	}
 	switch e.Kind {
 	case KindPilot:
